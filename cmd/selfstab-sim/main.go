@@ -1,0 +1,152 @@
+// Command selfstab-sim regenerates the paper's evaluation tables and the
+// ablation studies from DESIGN.md.
+//
+// Usage:
+//
+//	selfstab-sim -exp table3 -runs 1000 -lambda 1000
+//	selfstab-sim -exp all -runs 30
+//
+// Experiments: table1, table2, table3, table4, table5, mobility,
+// stabilization, gamma, metrics, orders, energy, daemons, scalability,
+// all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"selfstab/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "selfstab-sim:", err)
+		os.Exit(1)
+	}
+}
+
+type renderer interface{ Render() string }
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("selfstab-sim", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment: table1, table2, table3, table4, table5, mobility, stabilization, gamma, metrics, orders, energy, daemons, scalability, all")
+		runs   = fs.Int("runs", 30, "independent runs per cell (paper: 1000)")
+		seed   = fs.Int64("seed", 1, "master random seed")
+		lambda = fs.Float64("lambda", 1000, "Poisson deployment intensity")
+		ranges = fs.String("ranges", "0.05,0.08,0.1", "comma-separated transmission ranges")
+		mins   = fs.Float64("minutes", 3, "mobility experiment duration in minutes (paper: 15)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rs, err := parseRanges(*ranges)
+	if err != nil {
+		return err
+	}
+	opts := experiment.Options{Runs: *runs, Seed: *seed, Intensity: *lambda, Ranges: rs}
+
+	type entry struct {
+		name string
+		run  func() (renderer, error)
+	}
+	entries := []entry{
+		{"table1", func() (renderer, error) { return experiment.Table1() }},
+		{"table2", func() (renderer, error) {
+			o := opts
+			if o.Intensity > 500 && !flagPassed(fs, "lambda") {
+				o.Intensity = 300 // runtime-level measurement; keep tractable
+			}
+			return experiment.Table2(o)
+		}},
+		{"table3", func() (renderer, error) { return experiment.Table3(opts) }},
+		{"table4", func() (renderer, error) { return experiment.Table4(opts) }},
+		{"table5", func() (renderer, error) { return experiment.Table5(opts) }},
+		{"mobility", func() (renderer, error) {
+			m := experiment.MobilityDefaults()
+			m.Runs = *runs
+			m.Seed = *seed
+			m.Intensity = *lambda
+			m.DurationSec = *mins * 60
+			return experiment.Mobility(m)
+		}},
+		{"stabilization", func() (renderer, error) {
+			o := opts
+			// The runtime experiment is heavier; keep lambda tractable
+			// unless the user insisted.
+			if o.Intensity > 500 && !flagPassed(fs, "lambda") {
+				o.Intensity = 500
+			}
+			return experiment.Stabilization(o)
+		}},
+		{"gamma", func() (renderer, error) { return experiment.AblationGamma(opts) }},
+		{"metrics", func() (renderer, error) { return experiment.AblationMetrics(opts) }},
+		{"orders", func() (renderer, error) { return experiment.AblationOrders(opts) }},
+		{"energy", func() (renderer, error) {
+			o := opts
+			if o.Intensity > 400 && !flagPassed(fs, "lambda") {
+				o.Intensity = 300 // many epochs per run; keep tractable by default
+			}
+			return experiment.Energy(o)
+		}},
+		{"daemons", func() (renderer, error) {
+			o := opts
+			if o.Intensity > 400 && !flagPassed(fs, "lambda") {
+				o.Intensity = 300
+			}
+			return experiment.AblationDaemons(o)
+		}},
+		{"scalability", func() (renderer, error) { return experiment.Scalability(opts) }},
+	}
+
+	selected := strings.ToLower(*exp)
+	found := false
+	for _, e := range entries {
+		if selected != "all" && selected != e.name {
+			continue
+		}
+		found = true
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	if !found {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func parseRanges(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad range %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no ranges in %q", s)
+	}
+	return out, nil
+}
+
+func flagPassed(fs *flag.FlagSet, name string) bool {
+	passed := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseRanges(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"0.05,0.08,0.1", 3, false},
+		{"0.05", 1, false},
+		{" 0.05 , 0.1 ", 2, false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{",,", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parseRanges(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseRanges(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && len(got) != tt.want {
+			t.Errorf("parseRanges(%q) = %v, want %d values", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1-density") || !strings.Contains(out, "1.25") {
+		t.Errorf("table1 output missing expected cells:\n%s", out)
+	}
+}
+
+func TestRunTable3Small(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "table3", "-runs", "2", "-lambda", "200", "-ranges", "0.1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Grid") {
+		t.Errorf("table3 output:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-runs", "abc"}, &buf); err == nil {
+		t.Error("bad flag value accepted")
+	}
+	if err := run([]string{"-exp", "table3", "-ranges", "zzz"}, &buf); err == nil {
+		t.Error("bad ranges accepted")
+	}
+}
+
+func TestRunInvalidOptions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table3", "-runs", "0"}, &buf); err == nil {
+		t.Error("zero runs accepted")
+	}
+}

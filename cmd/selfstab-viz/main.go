@@ -1,0 +1,66 @@
+// Command selfstab-viz regenerates the paper's figures as SVG files (and
+// prints an ASCII preview).
+//
+// Usage:
+//
+//	selfstab-viz -figure 2 -out figure2.svg     # grid without DAG
+//	selfstab-viz -figure 3 -out figure3.svg     # grid with DAG
+//	selfstab-viz -figure 1 -out figure1.svg     # the worked example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selfstab/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "selfstab-viz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("selfstab-viz", flag.ContinueOnError)
+	var (
+		figure = fs.Int("figure", 3, "paper figure to regenerate: 1, 2 or 3")
+		out    = fs.String("out", "", "SVG output file (empty: skip SVG, print ASCII only)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		r      = fs.Float64("r", 0.05, "transmission range (figures 2-3)")
+		quiet  = fs.Bool("quiet", false, "suppress the ASCII preview")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var fig *experiment.FigureResult
+	var err error
+	switch *figure {
+	case 1:
+		fig, err = experiment.Figure1()
+	case 2:
+		fig, err = experiment.FigureGrid(false, *seed, *r)
+	case 3:
+		fig, err = experiment.FigureGrid(true, *seed, *r)
+	default:
+		return fmt.Errorf("unknown figure %d (want 1, 2 or 3)", *figure)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(fig.Caption)
+	if !*quiet {
+		fmt.Println(fig.ASCII)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(fig.SVG), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *out)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFigure1(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fig1.svg")
+	if err := run([]string{"-figure", "1", "-out", out, "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("output is not SVG")
+	}
+}
+
+func TestRunFigure3NoFile(t *testing.T) {
+	if err := run([]string{"-figure", "3", "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-figure", "9"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-figure", "x"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunUnwritableOutput(t *testing.T) {
+	if err := run([]string{"-figure", "1", "-out", "/nonexistent-dir/f.svg", "-quiet"}); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

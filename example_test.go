@@ -1,0 +1,81 @@
+package selfstab_test
+
+import (
+	"fmt"
+	"log"
+
+	"selfstab"
+)
+
+// ExampleNewNetwork demonstrates clustering a hand-placed topology.
+func ExampleNewNetwork() {
+	// Three nodes in a line. All three have density 1, so the identifier
+	// tie-break decides: the smallest id (20, the middle node) wins the
+	// election and the ends join it.
+	net, err := selfstab.NewNetwork([]selfstab.Point{
+		{X: 0.40, Y: 0.5},
+		{X: 0.50, Y: 0.5},
+		{X: 0.60, Y: 0.5},
+	}, selfstab.WithSeed(1), selfstab.WithRange(0.12), selfstab.WithIDs([]int64{30, 20, 40}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := net.Stabilize(100); err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range net.Clusters() {
+		fmt.Printf("head %d has %d members\n", c.HeadID, len(c.Members))
+	}
+	// Output:
+	// head 20 has 3 members
+}
+
+// ExampleNetwork_InjectFaults shows the self-stabilization property: a
+// fully corrupted network heals back to the same legitimate clustering.
+func ExampleNetwork_InjectFaults() {
+	net, err := selfstab.NewRandomNetwork(100, selfstab.WithSeed(7), selfstab.WithRange(0.15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := net.Stabilize(500); err != nil {
+		log.Fatal(err)
+	}
+	before := len(net.Clusters())
+
+	net.InjectFaults(1.0) // corrupt every node's state and caches
+	if _, err := net.Stabilize(500); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("healed:", net.Verify() == nil)
+	fmt.Println("same cluster count:", len(net.Clusters()) == before)
+	// Output:
+	// healed: true
+	// same cluster count: true
+}
+
+// ExampleNetwork_Route demonstrates hierarchical routing over the
+// stabilized clusters.
+func ExampleNetwork_Route() {
+	net, err := selfstab.NewNetwork([]selfstab.Point{
+		{X: 0.10, Y: 0.5}, // cluster A
+		{X: 0.20, Y: 0.5},
+		{X: 0.30, Y: 0.5}, // gateway side A
+		{X: 0.40, Y: 0.5}, // gateway side B
+		{X: 0.50, Y: 0.5},
+		{X: 0.60, Y: 0.5}, // cluster B
+	}, selfstab.WithSeed(3), selfstab.WithRange(0.11),
+		selfstab.WithIDs([]int64{0, 1, 2, 3, 4, 5}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := net.Stabilize(100); err != nil {
+		log.Fatal(err)
+	}
+	path, err := net.Route(0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hops:", len(path)-1)
+	// Output:
+	// hops: 5
+}

@@ -1,0 +1,55 @@
+// Hierarchy: recursive clustering (the paper's Section 6 future work).
+// Level 0 clusters the physical radio network; each further level clusters
+// the cluster-heads of the level below over the "clusters touch" overlay,
+// producing the multi-tier backbone hierarchical routing wants.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfstab"
+)
+
+func main() {
+	net, err := selfstab.NewPoissonNetwork(600,
+		selfstab.WithSeed(11),
+		selfstab.WithRange(0.07),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := net.Stabilize(2000); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		log.Fatal(err)
+	}
+
+	levels, err := net.BuildHierarchy(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d physical nodes\n", net.N())
+	prev := net.N()
+	for lvl, l := range levels {
+		biggest := 0
+		for _, c := range l.Clusters {
+			if len(c.Members) > biggest {
+				biggest = len(c.Members)
+			}
+		}
+		fmt.Printf("level %d: %4d vertices -> %4d clusters (largest %d members)\n",
+			lvl, prev, len(l.Clusters), biggest)
+		prev = len(l.Clusters)
+	}
+
+	top := levels[len(levels)-1].Clusters
+	fmt.Printf("\nbackbone roots (%d):", len(top))
+	for _, c := range top {
+		fmt.Printf(" %d", c.HeadID)
+	}
+	fmt.Println()
+	fmt.Println("every node reaches a root through at most", len(levels), "tiers of heads")
+}

@@ -1,0 +1,61 @@
+package selfstab
+
+import (
+	"fmt"
+	"sort"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/hierarchy"
+)
+
+// HierarchyLevel is one tier of a recursive clustering: level 0 clusters
+// the physical nodes, level k+1 clusters the level-k cluster-heads over
+// the overlay graph in which two heads are adjacent when their clusters
+// touch.
+type HierarchyLevel struct {
+	// Clusters lists this level's clusters. Member identifiers refer to
+	// physical nodes at level 0 and to lower-level cluster-heads above.
+	Clusters []Cluster
+}
+
+// BuildHierarchy applies the clustering recursively (the paper's Section 6
+// future work) up to maxLevels tiers, stopping early once each connected
+// component has a single head. It is computed on the current topology with
+// the network's identifiers and ≺ configuration; the per-level outcome is
+// the fixpoint the distributed protocol would stabilize to when run level
+// by level.
+func (n *Network) BuildHierarchy(maxLevels int) ([]HierarchyLevel, error) {
+	if maxLevels < 1 {
+		return nil, fmt.Errorf("selfstab: need at least one level, got %d", maxLevels)
+	}
+	order := cluster.OrderBasic
+	if n.cfg.sticky {
+		order = cluster.OrderSticky
+	}
+	h, err := hierarchy.Build(n.g, n.ids, hierarchy.Options{
+		MaxLevels: maxLevels,
+		Order:     order,
+		Fusion:    n.cfg.fusion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HierarchyLevel, 0, h.Depth())
+	for _, l := range h.Levels {
+		byHead := make(map[int64][]int64, 8)
+		for vi, headVi := range l.Assignment.Head {
+			hid := n.ids[l.NodeOf[headVi]]
+			byHead[hid] = append(byHead[hid], n.ids[l.NodeOf[vi]])
+		}
+		var level HierarchyLevel
+		for hid, ms := range byHead {
+			sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+			level.Clusters = append(level.Clusters, Cluster{HeadID: hid, Members: ms})
+		}
+		sort.Slice(level.Clusters, func(i, j int) bool {
+			return level.Clusters[i].HeadID < level.Clusters[j].HeadID
+		})
+		out = append(out, level)
+	}
+	return out, nil
+}

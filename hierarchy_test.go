@@ -1,0 +1,108 @@
+package selfstab
+
+import (
+	"testing"
+)
+
+func TestBuildHierarchyLevels(t *testing.T) {
+	net, err := NewRandomNetwork(250, WithSeed(30), WithRange(0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := net.BuildHierarchy(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) < 1 {
+		t.Fatal("no levels")
+	}
+	// Level 0 covers every node exactly once.
+	seen := make(map[int64]bool)
+	for _, c := range levels[0].Clusters {
+		for _, m := range c.Members {
+			if seen[m] {
+				t.Fatalf("node %d in two clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != net.N() {
+		t.Errorf("level 0 covers %d of %d nodes", len(seen), net.N())
+	}
+	// Each level's vertex set is the previous level's head set.
+	for lvl := 1; lvl < len(levels); lvl++ {
+		prevHeads := make(map[int64]bool)
+		for _, c := range levels[lvl-1].Clusters {
+			prevHeads[c.HeadID] = true
+		}
+		count := 0
+		for _, c := range levels[lvl].Clusters {
+			for _, m := range c.Members {
+				if !prevHeads[m] {
+					t.Errorf("level %d member %d was not a level %d head", lvl, m, lvl-1)
+				}
+				count++
+			}
+		}
+		if count != len(prevHeads) {
+			t.Errorf("level %d covers %d of %d lower heads", lvl, count, len(prevHeads))
+		}
+		if len(levels[lvl].Clusters) > len(prevHeads) {
+			t.Errorf("level %d did not shrink", lvl)
+		}
+	}
+}
+
+func TestBuildHierarchyValidation(t *testing.T) {
+	net, err := NewRandomNetwork(20, WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.BuildHierarchy(0); err == nil {
+		t.Error("0 levels accepted")
+	}
+}
+
+func TestBuildHierarchyMatchesClustersAtLevel0(t *testing.T) {
+	net, err := NewRandomNetwork(150, WithSeed(32), WithRange(0.12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(500); err != nil {
+		t.Fatal(err)
+	}
+	levels, err := net.BuildHierarchy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := net.Clusters()
+	if len(levels[0].Clusters) != len(live) {
+		t.Fatalf("hierarchy level 0 has %d clusters, live protocol has %d",
+			len(levels[0].Clusters), len(live))
+	}
+	for i := range live {
+		if levels[0].Clusters[i].HeadID != live[i].HeadID {
+			t.Errorf("cluster %d head: hierarchy %d, live %d",
+				i, levels[0].Clusters[i].HeadID, live[i].HeadID)
+		}
+	}
+}
+
+func TestWithDaemonOption(t *testing.T) {
+	if _, err := NewRandomNetwork(10, WithDaemon(0)); err == nil {
+		t.Error("daemon prob 0 accepted")
+	}
+	if _, err := NewRandomNetwork(10, WithDaemon(1.5)); err == nil {
+		t.Error("daemon prob > 1 accepted")
+	}
+	net, err := NewRandomNetwork(60, WithSeed(33), WithRange(0.2), WithDaemon(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		t.Errorf("randomized daemon network not legitimate: %v", err)
+	}
+}

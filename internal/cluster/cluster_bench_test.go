@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// BenchmarkCompute1000 is the fixpoint oracle at paper scale.
+func BenchmarkCompute1000(b *testing.B) {
+	g, cfg := randomInstance(1, 1000, 0.1, OrderBasic, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompute1000Fusion adds the 2-hop fusion guard.
+func BenchmarkCompute1000Fusion(b *testing.B) {
+	g, cfg := randomInstance(2, 1000, 0.1, OrderBasic, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComputeStats measures the Tables 4/5 statistics extraction.
+func BenchmarkComputeStats(b *testing.B) {
+	g, cfg := randomInstance(3, 1000, 0.1, OrderBasic, false)
+	a, err := Compute(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ComputeStats(g)
+	}
+}
+
+// BenchmarkMaxMin is the baseline clusterer at paper scale.
+func BenchmarkMaxMin(b *testing.B) {
+	g, cfg := randomInstance(4, 1000, 0.1, OrderBasic, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxMin(g, cfg.TieIDs, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckInvariants measures the legitimacy predicate.
+func BenchmarkCheckInvariants(b *testing.B) {
+	g, cfg := randomInstance(5, 1000, 0.1, OrderBasic, false)
+	a, err := Compute(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := CheckInvariants(g, a, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"selfstab/internal/topology"
+)
+
+// Config parameterizes a clustering computation.
+type Config struct {
+	// Values holds the metric value of every node (e.g. its density).
+	Values []float64
+	// TieIDs holds the identifier used to break metric ties: the
+	// application identifier for the plain algorithm, or the DAG color for
+	// the constant-height variant. TieIDs need only be locally unique.
+	TieIDs []int64
+	// AppIDs holds the globally unique application identifiers used as the
+	// final tie-break (see Rank). Nil means TieIDs are already globally
+	// unique and double as AppIDs.
+	AppIDs []int64
+	// Order selects the ≺ variant (basic or sticky).
+	Order Order
+	// Fusion enables the Section 4.3 two-hop rule: a node is a head only
+	// if no ≺-greater node in its 2-neighborhood claims headship; the
+	// lesser of two nearby heads dissolves its cluster into the greater's.
+	Fusion bool
+	// PrevHead optionally carries the previous configuration's head of
+	// each node (index, -1 when unknown). It seeds the fixpoint iteration
+	// and, under OrderSticky, defines incumbency.
+	PrevHead []int
+}
+
+func (c *Config) validate(n int) error {
+	if len(c.Values) != n {
+		return fmt.Errorf("cluster: %d values for %d nodes", len(c.Values), n)
+	}
+	if len(c.TieIDs) != n {
+		return fmt.Errorf("cluster: %d tie ids for %d nodes", len(c.TieIDs), n)
+	}
+	if c.Order != OrderBasic && c.Order != OrderSticky {
+		return fmt.Errorf("cluster: invalid order %d", int(c.Order))
+	}
+	if c.AppIDs != nil && len(c.AppIDs) != n {
+		return fmt.Errorf("cluster: %d app ids for %d nodes", len(c.AppIDs), n)
+	}
+	if c.PrevHead != nil && len(c.PrevHead) != n {
+		return fmt.Errorf("cluster: %d prev heads for %d nodes", len(c.PrevHead), n)
+	}
+	return nil
+}
+
+// Assignment is the result of a clustering computation: the parent relation
+// F and the cluster-head relation H, both as node indices. A node p is a
+// cluster-head iff Head[p] == p (equivalently Parent[p] == p).
+type Assignment struct {
+	Parent []int
+	Head   []int
+	// Rounds is the number of synchronous update rounds the fixpoint
+	// iteration needed. It is the oracle's proxy for stabilization time
+	// and is proportional to the height of the DAG≺ (Lemma 2).
+	Rounds int
+	// Demotions counts nodes that are locally ≺-maximal yet not heads —
+	// clusters dissolved by the fusion rule (0 without fusion).
+	Demotions int
+}
+
+// ErrNoNodes is returned when clustering an empty graph.
+var ErrNoNodes = errors.New("cluster: empty graph")
+
+// errDiverged signals that the fixpoint iteration did not converge, which
+// indicates a bug (the update rule is proven to converge).
+var errDiverged = errors.New("cluster: fixpoint iteration diverged")
+
+// Compute runs the clustering heuristic to its fixpoint on a static graph
+// by synchronous iteration of the per-node update rule R2 — exactly the
+// dynamics of the distributed protocol under a synchronous daemon with
+// perfect caches (the runtime package executes the lossy message-passing
+// version and is checked against this oracle):
+//
+//   - a node whose closed neighborhood it ≺-dominates claims headship
+//     (with Fusion: unless a ≺-greater node two hops away currently claims
+//     headship, in which case it adopts that head directly — the lesser
+//     cluster fuses into the greater one);
+//   - any other node adopts the head of its ≺-maximal neighbor.
+//
+// Iteration converges because branch-3 chains are strictly ≺-ascending and
+// headship claims settle top-down in ≺ order.
+func Compute(g *topology.Graph, cfg Config) (*Assignment, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, ErrNoNodes
+	}
+	if err := cfg.validate(n); err != nil {
+		return nil, err
+	}
+
+	appIDs := cfg.AppIDs
+	if appIDs == nil {
+		appIDs = cfg.TieIDs
+	}
+	rank := make([]Rank, n)
+	for u := 0; u < n; u++ {
+		isHead := cfg.PrevHead != nil && cfg.PrevHead[u] == u
+		rank[u] = Rank{
+			Value:  cfg.Values[u],
+			TieID:  cfg.TieIDs[u],
+			IsHead: isHead,
+			AppID:  appIDs[u],
+		}
+	}
+
+	// localMax[u]: u ≺-dominates all its neighbors.
+	localMax := make([]bool, n)
+	// bestNbr[u]: the ≺-maximal neighbor (meaningful when !localMax[u]).
+	bestNbr := make([]int, n)
+	for u := 0; u < n; u++ {
+		best := u
+		for _, v := range g.Neighbors(u) {
+			if cfg.Order.Less(rank[best], rank[v]) {
+				best = v
+			}
+		}
+		localMax[u] = best == u
+		bestNbr[u] = best
+	}
+
+	// Two-hop sets, needed only for the fusion guard.
+	var twoHop [][]int
+	if cfg.Fusion {
+		twoHop = make([][]int, n)
+		for u := 0; u < n; u++ {
+			seen := map[int]bool{u: true}
+			for _, v := range g.Neighbors(u) {
+				seen[v] = true
+			}
+			for _, v := range g.Neighbors(u) {
+				for _, w := range g.Neighbors(v) {
+					if !seen[w] {
+						seen[w] = true
+						twoHop[u] = append(twoHop[u], w)
+					}
+				}
+			}
+		}
+	}
+
+	// Head state: seed from PrevHead when provided, else every node
+	// initially claims itself (cold boot).
+	h := make([]int, n)
+	for u := 0; u < n; u++ {
+		if cfg.PrevHead != nil && cfg.PrevHead[u] >= 0 && cfg.PrevHead[u] < n {
+			h[u] = cfg.PrevHead[u]
+		} else {
+			h[u] = u
+		}
+	}
+
+	next := make([]int, n)
+	maxRounds := 2*n + 10
+	rounds := 0
+	for ; rounds < maxRounds; rounds++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			next[u] = updateHead(u, h, rank, localMax, bestNbr, twoHop, cfg)
+			if next[u] != h[u] {
+				changed = true
+			}
+		}
+		h, next = next, h
+		if !changed {
+			break
+		}
+	}
+	if rounds == maxRounds {
+		return nil, errDiverged
+	}
+
+	a := &Assignment{Head: h, Rounds: rounds}
+	a.Parent = deriveParents(g, cfg.Order, rank, localMax, bestNbr, h)
+	for u := 0; u < n; u++ {
+		if localMax[u] && h[u] != u {
+			a.Demotions++
+		}
+	}
+	return a, nil
+}
+
+// updateHead is the per-node guarded assignment R2.
+func updateHead(u int, h []int, rank []Rank, localMax []bool, bestNbr []int, twoHop [][]int, cfg Config) int {
+	if !localMax[u] {
+		return h[bestNbr[u]]
+	}
+	if cfg.Fusion {
+		// Fusion guard: adopt the ≺-greatest current head claimant two
+		// hops away that beats u, if any.
+		best := -1
+		for _, s := range twoHop[u] {
+			if h[s] != s || !cfg.Order.Less(rank[u], rank[s]) {
+				continue
+			}
+			if best < 0 || cfg.Order.Less(rank[best], rank[s]) {
+				best = s
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return u
+}
+
+// deriveParents reconstructs the parent forest F from the converged heads:
+// a head is its own parent; an ordinary node hangs off its ≺-maximal
+// neighbor; a fusion-demoted head hangs off the ≺-maximal common neighbor
+// toward its adopted head (that neighbor's own parent outranks the adopted
+// head, so parent chains cannot cycle back through the demoted node: along
+// any chain the ranks of demoted nodes are strictly increasing).
+func deriveParents(g *topology.Graph, order Order, rank []Rank, localMax []bool, bestNbr []int, h []int) []int {
+	n := g.N()
+	parent := make([]int, n)
+	for u := 0; u < n; u++ {
+		switch {
+		case h[u] == u:
+			parent[u] = u
+		case !localMax[u]:
+			parent[u] = bestNbr[u]
+		default:
+			// Fusion-demoted head: relay through a common neighbor of u
+			// and the adopted head (one exists: the adopted head was found
+			// at distance exactly two).
+			best := -1
+			for _, x := range g.Neighbors(u) {
+				if !g.HasEdge(x, h[u]) {
+					continue
+				}
+				if best < 0 || order.Less(rank[best], rank[x]) {
+					best = x
+				}
+			}
+			if best < 0 {
+				// Unreachable for converged states; keep the node a root
+				// rather than fabricate a bogus edge.
+				best = u
+			}
+			parent[u] = best
+		}
+	}
+	return parent
+}

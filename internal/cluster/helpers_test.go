@@ -1,0 +1,29 @@
+package cluster
+
+import (
+	"selfstab/internal/geom"
+	"selfstab/internal/metric"
+	"selfstab/internal/rng"
+	"selfstab/internal/topology"
+)
+
+// randomInstance builds a random geometric graph with n nodes, radio range
+// r, random unique tie ids, and densities as metric values.
+func randomInstance(seed int64, n int, r float64, order Order, fusion bool) (*topology.Graph, Config) {
+	src := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: src.Float64(), Y: src.Float64()}
+	}
+	g := topology.FromPoints(pts, r)
+	ids := make([]int64, n)
+	for i, p := range src.Perm(n) {
+		ids[i] = int64(p)
+	}
+	return g, Config{
+		Values: metric.Density{}.Values(g),
+		TieIDs: ids,
+		Order:  order,
+		Fusion: fusion,
+	}
+}

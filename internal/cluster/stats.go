@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"sort"
+
+	"selfstab/internal/topology"
+)
+
+// Stats summarizes a clustering the way the paper's Tables 4 and 5 do:
+// number of clusters, cluster-head eccentricity inside each cluster
+// (e(H(u)/C)), and clusterization-tree length (the number of parent hops a
+// node's cluster-head identity travels to reach it).
+type Stats struct {
+	// NumClusters is the number of distinct cluster-heads.
+	NumClusters int
+	// MeanHeadEccentricity averages, over clusters, the maximum in-cluster
+	// hop distance from the head to a member.
+	MeanHeadEccentricity float64
+	// MaxHeadEccentricity is the worst in-cluster head eccentricity.
+	MaxHeadEccentricity int
+	// MeanTreeLength averages, over non-head nodes, the length of the
+	// parent chain to the head. Heads contribute 0 through MaxTreeLength
+	// only.
+	MeanTreeLength float64
+	// MaxTreeLength is the deepest parent chain, which bounds the number
+	// of steps the head identity needs to propagate (the stabilization
+	// time proxy of Section 5).
+	MaxTreeLength int
+	// Sizes lists the cluster sizes in descending order.
+	Sizes []int
+}
+
+// ComputeStats measures a on g.
+func (a *Assignment) ComputeStats(g *topology.Graph) Stats {
+	n := g.N()
+	var s Stats
+	if n == 0 {
+		return s
+	}
+
+	members := make(map[int][]int, 8)
+	for u := 0; u < n; u++ {
+		h := a.Head[u]
+		members[h] = append(members[h], u)
+	}
+	s.NumClusters = len(members)
+
+	// Head eccentricities within each cluster.
+	member := make([]bool, n)
+	eccSum := 0
+	for h, us := range members {
+		for _, u := range us {
+			member[u] = true
+		}
+		ecc := 0
+		for _, d := range g.DistancesWithin(h, member) {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		eccSum += ecc
+		if ecc > s.MaxHeadEccentricity {
+			s.MaxHeadEccentricity = ecc
+		}
+		for _, u := range us {
+			member[u] = false
+		}
+		s.Sizes = append(s.Sizes, len(us))
+	}
+	s.MeanHeadEccentricity = float64(eccSum) / float64(len(members))
+	sort.Sort(sort.Reverse(sort.IntSlice(s.Sizes)))
+
+	// Parent-chain lengths.
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var chainLen func(u int) int
+	chainLen = func(u int) int {
+		if depth[u] >= 0 {
+			return depth[u]
+		}
+		if a.Parent[u] == u {
+			depth[u] = 0
+			return 0
+		}
+		// Mark to guard against accidental cycles (must not happen for a
+		// valid assignment; a cycle would recurse forever otherwise).
+		depth[u] = 0
+		depth[u] = chainLen(a.Parent[u]) + 1
+		return depth[u]
+	}
+	sum, count := 0, 0
+	for u := 0; u < n; u++ {
+		d := chainLen(u)
+		if d > s.MaxTreeLength {
+			s.MaxTreeLength = d
+		}
+		if a.Parent[u] != u {
+			sum += d
+			count++
+		}
+	}
+	if count > 0 {
+		s.MeanTreeLength = float64(sum) / float64(count)
+	}
+	return s
+}
+
+// Heads returns the sorted list of cluster-head indices.
+func (a *Assignment) Heads() []int {
+	var hs []int
+	for u, p := range a.Parent {
+		if p == u {
+			hs = append(hs, u)
+		}
+	}
+	return hs
+}
+
+// IsHead reports whether u is a cluster-head.
+func (a *Assignment) IsHead(u int) bool { return a.Parent[u] == u }
+
+// Members returns the node indices whose head is h, in ascending order.
+func (a *Assignment) Members(h int) []int {
+	var ms []int
+	for u, hu := range a.Head {
+		if hu == h {
+			ms = append(ms, u)
+		}
+	}
+	return ms
+}

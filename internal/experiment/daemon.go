@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"fmt"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/radio"
+	"selfstab/internal/rng"
+	"selfstab/internal/runtime"
+	"selfstab/internal/stats"
+)
+
+// AblationDaemons measures how the daemon's activation probability scales
+// stabilization time: the paper's execution semantics only assume enabled
+// guards are eventually executed, so the protocol must stabilize for any
+// probability > 0 — just proportionally slower.
+func AblationDaemons(opts Options) (*DaemonResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	probs := []float64{1.0, 0.5, 0.25}
+	master := rng.New(opts.Seed)
+	res := &DaemonResult{Probs: probs}
+	for _, p := range probs {
+		var acc stats.Welford
+		for run := 0; run < opts.Runs; run++ {
+			src := master.SplitN(fmt.Sprintf("daemon-%.2f", p), run)
+			inst := deployRandom(opts.Intensity, opts.Ranges[0], src)
+			proto := runtime.Protocol{Order: cluster.OrderBasic, ActivationProb: p}
+			eng, err := runtime.New(inst.g, inst.ids, proto, radio.Perfect{}, src.Split("engine"))
+			if err != nil {
+				return nil, err
+			}
+			at, err := eng.RunUntilStable(50*inst.g.N()+1000, 10)
+			if err != nil {
+				return nil, fmt.Errorf("daemon p=%.2f: %w", p, err)
+			}
+			acc.Add(float64(at))
+		}
+		res.Steps = append(res.Steps, acc.Mean())
+	}
+	return res, nil
+}

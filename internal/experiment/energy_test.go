@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnergyAwareExtendsLifetime(t *testing.T) {
+	opts := Options{Runs: 3, Seed: 5, Intensity: 200, Ranges: []float64{0.12}}
+	res, err := Energy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rotation must strictly help: energy-aware outlives plain density
+	// and spreads the head burden.
+	if res.EnergyLifetime <= res.PlainLifetime {
+		t.Errorf("energy-aware lifetime %.1f not better than plain %.1f",
+			res.EnergyLifetime, res.PlainLifetime)
+	}
+	if res.EnergyMaxBurden >= res.PlainMaxBurden {
+		t.Errorf("energy-aware max burden %.1f not lower than plain %.1f",
+			res.EnergyMaxBurden, res.PlainMaxBurden)
+	}
+	if !strings.Contains(res.Render(), "energy x density") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestEnergyValidation(t *testing.T) {
+	if _, err := Energy(Options{}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestAblationDaemonsMonotone(t *testing.T) {
+	opts := Options{Runs: 2, Seed: 9, Intensity: 150, Ranges: []float64{0.15}}
+	res, err := AblationDaemons(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probs) != 3 || len(res.Steps) != 3 {
+		t.Fatalf("shape: %+v", res)
+	}
+	// Sparser daemons must not stabilize faster.
+	if res.Steps[0] > res.Steps[1] || res.Steps[1] > res.Steps[2] {
+		t.Errorf("steps not monotone in sparsity: %v", res.Steps)
+	}
+	if !strings.Contains(res.Render(), "activation") {
+		t.Error("render missing header")
+	}
+}
+
+func TestScalabilityShape(t *testing.T) {
+	opts := Options{Runs: 2, Seed: 11, Intensity: 400, Ranges: []float64{0.12}}
+	res, err := Scalability(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intensities) != 3 {
+		t.Fatalf("shape: %+v", res)
+	}
+	for i := range res.Intensities {
+		if res.HierState[i] >= res.FlatState[i] {
+			t.Errorf("lambda=%v: hierarchical state %v not below flat %v",
+				res.Intensities[i], res.HierState[i], res.FlatState[i])
+		}
+		if res.Stretch[i] < 1 || res.Stretch[i] > 3 {
+			t.Errorf("lambda=%v: stretch %v implausible", res.Intensities[i], res.Stretch[i])
+		}
+	}
+	// The hierarchical advantage must WIDEN with scale: the flat/hier state
+	// ratio grows with lambda (the paper's scalability argument).
+	first := res.FlatState[0] / res.HierState[0]
+	last := res.FlatState[2] / res.HierState[2]
+	if last <= first {
+		t.Errorf("state advantage did not grow with scale: %v -> %v", first, last)
+	}
+	if !strings.Contains(res.Render(), "stretch") {
+		t.Error("render missing column")
+	}
+}

@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable2Schedule asserts the paper's Table 2 at experiment level: on a
+// perfect medium, neighbors are exact after step 1, densities after step
+// 2, fathers after step 3, and heads shortly after (tree depth).
+func TestTable2Schedule(t *testing.T) {
+	opts := Options{Runs: 3, Seed: 2, Intensity: 250, Ranges: []float64{0.1}}
+	res, err := Table2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NeighborsOK[0] < 100 {
+		t.Errorf("step 1: neighbors %.0f%%, want 100%%", res.NeighborsOK[0])
+	}
+	if res.DensityOK[0] >= 100 {
+		t.Errorf("step 1: density already exact — schedule too fast to be honest")
+	}
+	if res.DensityOK[1] < 100 {
+		t.Errorf("step 2: density %.0f%%, want 100%%", res.DensityOK[1])
+	}
+	if res.FatherOK[2] < 100 {
+		t.Errorf("step 3: father %.0f%%, want 100%%", res.FatherOK[2])
+	}
+	if res.HeadOK[2] >= 100 {
+		t.Logf("note: heads complete at step 3 (very shallow trees this run)")
+	}
+	if res.AllHeadsAtStep < 3 || res.AllHeadsAtStep > 11 {
+		t.Errorf("heads complete at step %d, expected a small tree-depth bound", res.AllHeadsAtStep)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "father") || !strings.Contains(out, "100%") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestTable2Validation(t *testing.T) {
+	if _, err := Table2(Options{}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}

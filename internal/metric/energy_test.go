@@ -1,0 +1,107 @@
+package metric
+
+import (
+	"math"
+	"testing"
+
+	"selfstab/internal/paperex"
+	"selfstab/internal/topology"
+)
+
+func TestEnergyAwareFullBatteryMatchesBase(t *testing.T) {
+	g := paperex.Graph()
+	energy := make([]float64, g.N())
+	for i := range energy {
+		energy[i] = 1
+	}
+	m := EnergyAware{Base: Density{}, Energy: energy}
+	base := Density{}.Values(g)
+	for u, v := range m.Values(g) {
+		if math.Abs(v-base[u]) > 1e-12 {
+			t.Errorf("node %d: full battery changed value %v -> %v", u, base[u], v)
+		}
+	}
+	if m.Name() != "energy-density" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestEnergyAwareScales(t *testing.T) {
+	g := paperex.Graph()
+	energy := make([]float64, g.N())
+	for i := range energy {
+		energy[i] = 1
+	}
+	energy[paperex.H] = 0.5 // h at half battery
+	m := EnergyAware{Base: Density{}, Energy: energy}
+	vals := m.Values(g)
+	if math.Abs(vals[paperex.H]-0.75) > 1e-12 { // 1.5 * 0.5
+		t.Errorf("half-battery h value = %v, want 0.75", vals[paperex.H])
+	}
+}
+
+func TestEnergyAwareClamps(t *testing.T) {
+	g := topology.New(2)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := EnergyAware{Base: Density{}, Energy: []float64{-1, 5}}
+	vals := m.Values(g)
+	if vals[0] != 0 {
+		t.Errorf("negative energy not clamped: %v", vals[0])
+	}
+	if vals[1] != 1 { // density 1 * clamp(5)=1
+		t.Errorf("oversized energy not clamped: %v", vals[1])
+	}
+}
+
+func TestEnergyAwareShortVectorDefaultsFull(t *testing.T) {
+	g := paperex.Graph()
+	m := EnergyAware{Base: Density{}, Energy: []float64{0.5}} // only node 0
+	vals := m.Values(g)
+	base := Density{}.Values(g)
+	if math.Abs(vals[0]-base[0]*0.5) > 1e-12 {
+		t.Error("covered node not scaled")
+	}
+	for u := 1; u < g.N(); u++ {
+		if math.Abs(vals[u]-base[u]) > 1e-12 {
+			t.Errorf("uncovered node %d scaled", u)
+		}
+	}
+}
+
+func TestEnergyAwareValidate(t *testing.T) {
+	if err := (EnergyAware{Base: Density{}, Energy: []float64{1, 1}}).Validate(2); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (EnergyAware{Base: Density{}, Energy: []float64{1}}).Validate(2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := (EnergyAware{Energy: []float64{1, 1}}).Validate(2); err == nil {
+		t.Error("nil base accepted")
+	}
+}
+
+// TestEnergyAwareRotatesHeads: the functional point — a depleted head
+// loses its election to a charged rival.
+func TestEnergyAwareRotatesHeads(t *testing.T) {
+	g := paperex.Graph()
+	energy := make([]float64, g.N())
+	for i := range energy {
+		energy[i] = 1
+	}
+	// Deplete h severely: its energy-scaled density (1.5 -> 0.15) drops
+	// below its neighbors b and i (1.25 each).
+	energy[paperex.H] = 0.1
+	m := EnergyAware{Base: Density{}, Energy: energy}
+	vals := m.Values(g)
+	best := paperex.H
+	for _, v := range g.Neighbors(paperex.H) {
+		if vals[v] > vals[best] {
+			best = v
+		}
+	}
+	if best == paperex.H {
+		t.Error("depleted h still dominates its neighborhood")
+	}
+}

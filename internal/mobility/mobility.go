@@ -1,0 +1,204 @@
+// Package mobility moves nodes around the deployment region, reproducing
+// the paper's Section 5 mobility study: nodes move randomly at randomly
+// chosen speeds for 15 minutes while the clustering is sampled every two
+// seconds. Two classical models are provided — random walk (random heading,
+// billiard reflection at the borders, occasional re-orientation) and random
+// waypoint (pick a destination, travel to it, repeat).
+//
+// The unit square maps to a 1 km x 1 km field, so a pedestrian speed of
+// 1.6 m/s is 0.0016 units/s; see MetersPerUnit.
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfstab/internal/geom"
+	"selfstab/internal/rng"
+)
+
+// MetersPerUnit is the physical scale of the unit square: the paper's radio
+// ranges (0.05-0.1 units) then correspond to 50-100 m, typical 802.11
+// outdoor ranges, and its speed bands (1.6 m/s pedestrian, 10 m/s vehicle)
+// convert naturally.
+const MetersPerUnit = 1000.0
+
+// SpeedToUnits converts meters/second into region units/second.
+func SpeedToUnits(metersPerSecond float64) float64 {
+	return metersPerSecond / MetersPerUnit
+}
+
+// Model advances node positions through time.
+type Model interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Step advances the model by dt seconds.
+	Step(dt float64)
+	// Positions returns the current node positions. The returned slice is
+	// owned by the model; callers must copy if they retain it.
+	Positions() []geom.Point
+}
+
+// RandomWalk moves every node along an individual heading at an individual
+// speed drawn uniformly from [MinSpeed, MaxSpeed] (units/s). Nodes reflect
+// off the region borders and re-draw heading and speed on a Poisson clock
+// with mean TurnEvery seconds.
+type RandomWalk struct {
+	region    geom.Rect
+	pos       []geom.Point
+	vel       []geom.Point // heading scaled by speed, units/s
+	untilTurn []float64    // seconds until the next re-orientation
+	minSpeed  float64
+	maxSpeed  float64
+	turnEvery float64
+	src       *rng.Source
+}
+
+var _ Model = (*RandomWalk)(nil)
+
+// NewRandomWalk starts a walk at the given positions. minSpeed and maxSpeed
+// are in units/s; turnEvery is the mean seconds between re-orientations
+// (<= 0 means never turn, straight-line billiards).
+func NewRandomWalk(pts []geom.Point, region geom.Rect, minSpeed, maxSpeed, turnEvery float64, src *rng.Source) (*RandomWalk, error) {
+	if err := validateSpeeds(minSpeed, maxSpeed); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("mobility: nil rng source")
+	}
+	w := &RandomWalk{
+		region:    region,
+		pos:       append([]geom.Point(nil), pts...),
+		vel:       make([]geom.Point, len(pts)),
+		untilTurn: make([]float64, len(pts)),
+		minSpeed:  minSpeed,
+		maxSpeed:  maxSpeed,
+		turnEvery: turnEvery,
+		src:       src,
+	}
+	for i := range w.vel {
+		w.vel[i] = w.drawVelocity()
+		w.untilTurn[i] = w.drawTurnDelay()
+	}
+	return w, nil
+}
+
+func validateSpeeds(minSpeed, maxSpeed float64) error {
+	if minSpeed < 0 || maxSpeed < minSpeed {
+		return fmt.Errorf("mobility: invalid speed range [%v, %v]", minSpeed, maxSpeed)
+	}
+	return nil
+}
+
+func (w *RandomWalk) drawVelocity() geom.Point {
+	speed := w.minSpeed + w.src.Float64()*(w.maxSpeed-w.minSpeed)
+	theta := w.src.Float64() * 2 * math.Pi
+	return geom.Point{X: speed * math.Cos(theta), Y: speed * math.Sin(theta)}
+}
+
+func (w *RandomWalk) drawTurnDelay() float64 {
+	if w.turnEvery <= 0 {
+		return math.Inf(1)
+	}
+	return w.src.ExpFloat64() * w.turnEvery
+}
+
+// Name implements Model.
+func (w *RandomWalk) Name() string { return "random-walk" }
+
+// Step implements Model.
+func (w *RandomWalk) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	for i := range w.pos {
+		w.untilTurn[i] -= dt
+		if w.untilTurn[i] <= 0 {
+			w.vel[i] = w.drawVelocity()
+			w.untilTurn[i] = w.drawTurnDelay()
+		}
+		next := w.pos[i].Add(w.vel[i].Scale(dt))
+		w.pos[i], w.vel[i] = w.region.Reflect(next, w.vel[i])
+	}
+}
+
+// Positions implements Model.
+func (w *RandomWalk) Positions() []geom.Point { return w.pos }
+
+// RandomWaypoint moves every node toward an individually chosen uniform
+// destination at an individually drawn speed, re-drawing both on arrival.
+type RandomWaypoint struct {
+	region   geom.Rect
+	pos      []geom.Point
+	dest     []geom.Point
+	speed    []float64
+	minSpeed float64
+	maxSpeed float64
+	src      *rng.Source
+}
+
+var _ Model = (*RandomWaypoint)(nil)
+
+// NewRandomWaypoint starts a waypoint walk at the given positions.
+func NewRandomWaypoint(pts []geom.Point, region geom.Rect, minSpeed, maxSpeed float64, src *rng.Source) (*RandomWaypoint, error) {
+	if err := validateSpeeds(minSpeed, maxSpeed); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("mobility: nil rng source")
+	}
+	m := &RandomWaypoint{
+		region:   region,
+		pos:      append([]geom.Point(nil), pts...),
+		dest:     make([]geom.Point, len(pts)),
+		speed:    make([]float64, len(pts)),
+		minSpeed: minSpeed,
+		maxSpeed: maxSpeed,
+		src:      src,
+	}
+	for i := range m.dest {
+		m.redraw(i)
+	}
+	return m, nil
+}
+
+func (m *RandomWaypoint) redraw(i int) {
+	m.dest[i] = geom.Point{
+		X: m.region.MinX + m.src.Float64()*m.region.Width(),
+		Y: m.region.MinY + m.src.Float64()*m.region.Height(),
+	}
+	m.speed[i] = m.minSpeed + m.src.Float64()*(m.maxSpeed-m.minSpeed)
+}
+
+// Name implements Model.
+func (m *RandomWaypoint) Name() string { return "random-waypoint" }
+
+// Step implements Model.
+func (m *RandomWaypoint) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	for i := range m.pos {
+		remaining := dt
+		for remaining > 0 {
+			to := m.dest[i].Sub(m.pos[i])
+			distance := to.Norm()
+			travel := m.speed[i] * remaining
+			if m.speed[i] <= 0 {
+				break // stationary node (speed range includes 0)
+			}
+			if travel < distance {
+				m.pos[i] = m.pos[i].Add(to.Scale(travel / distance))
+				break
+			}
+			// Arrive and pick the next leg with the leftover time.
+			m.pos[i] = m.dest[i]
+			remaining -= distance / m.speed[i]
+			m.redraw(i)
+		}
+	}
+}
+
+// Positions implements Model.
+func (m *RandomWaypoint) Positions() []geom.Point { return m.pos }

@@ -1,0 +1,168 @@
+// Package radio models the wireless medium at the abstraction level the
+// paper uses: time is divided into steps Δ(τ); in each step every node
+// locally broadcasts one frame and each neighbor receives it with some
+// probability at least τ > 0 (the CSMA/CA collision abstraction of
+// Section 4). Three media are provided:
+//
+//   - Perfect: τ = 1 — every broadcast reaches every neighbor (the step
+//     semantics of Section 5 / Table 2);
+//   - Bernoulli: each (sender, receiver) delivery succeeds independently
+//     with probability τ — the paper's analytical assumption;
+//   - Slotted: an explicit slotted-CSMA model in which each node picks a
+//     random slot and a receiver loses every frame whose slot collides in
+//     its own neighborhood; τ becomes emergent instead of assumed.
+package radio
+
+import (
+	"fmt"
+
+	"selfstab/internal/rng"
+	"selfstab/internal/topology"
+)
+
+// Frame is one received broadcast: the sender's node index plus an opaque
+// payload supplied by the protocol layer.
+type Frame struct {
+	From    int
+	Payload any
+}
+
+// Medium delivers one step of local broadcasts.
+type Medium interface {
+	// Name identifies the medium in experiment output.
+	Name() string
+	// Broadcast takes the topology and one outgoing payload per node and
+	// returns, for each node, the frames it received this step. A nil
+	// payload means the node stays silent.
+	Broadcast(g *topology.Graph, out []any) ([][]Frame, error)
+}
+
+// Perfect is the lossless medium: every frame reaches every neighbor.
+type Perfect struct{}
+
+var _ Medium = Perfect{}
+
+// Name implements Medium.
+func (Perfect) Name() string { return "perfect" }
+
+// Broadcast implements Medium.
+func (Perfect) Broadcast(g *topology.Graph, out []any) ([][]Frame, error) {
+	if len(out) != g.N() {
+		return nil, fmt.Errorf("radio: %d payloads for %d nodes", len(out), g.N())
+	}
+	in := make([][]Frame, g.N())
+	for s, payload := range out {
+		if payload == nil {
+			continue
+		}
+		for _, r := range g.Neighbors(s) {
+			in[r] = append(in[r], Frame{From: s, Payload: payload})
+		}
+	}
+	return in, nil
+}
+
+// Bernoulli delivers each (sender, receiver) pair independently with
+// probability Tau. It realizes the paper's hypothesis "there exists a
+// constant τ > 0 such that the probability of a frame transmission without
+// collision is at least τ" with a memoryless distribution.
+type Bernoulli struct {
+	Tau float64
+	Src *rng.Source
+}
+
+var _ Medium = (*Bernoulli)(nil)
+
+// NewBernoulli validates tau and returns the medium.
+func NewBernoulli(tau float64, src *rng.Source) (*Bernoulli, error) {
+	if tau <= 0 || tau > 1 {
+		return nil, fmt.Errorf("radio: tau must be in (0, 1], got %v", tau)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("radio: nil rng source")
+	}
+	return &Bernoulli{Tau: tau, Src: src}, nil
+}
+
+// Name implements Medium.
+func (m *Bernoulli) Name() string { return fmt.Sprintf("bernoulli(tau=%.2f)", m.Tau) }
+
+// Broadcast implements Medium.
+func (m *Bernoulli) Broadcast(g *topology.Graph, out []any) ([][]Frame, error) {
+	if len(out) != g.N() {
+		return nil, fmt.Errorf("radio: %d payloads for %d nodes", len(out), g.N())
+	}
+	in := make([][]Frame, g.N())
+	for s, payload := range out {
+		if payload == nil {
+			continue
+		}
+		for _, r := range g.Neighbors(s) {
+			if m.Tau >= 1 || m.Src.Float64() < m.Tau {
+				in[r] = append(in[r], Frame{From: s, Payload: payload})
+			}
+		}
+	}
+	return in, nil
+}
+
+// Slotted is an explicit slotted-CSMA abstraction: each step has Slots
+// transmission slots, every sender picks one uniformly, and a receiver
+// successfully decodes a frame iff exactly one of its neighbors transmitted
+// in that slot and the receiver itself did not transmit in it (half-duplex).
+// The per-link success probability is then emergent:
+// roughly ((Slots-1)/Slots)^deg — the τ of the paper's hypothesis.
+type Slotted struct {
+	Slots int
+	Src   *rng.Source
+}
+
+var _ Medium = (*Slotted)(nil)
+
+// NewSlotted validates the slot count and returns the medium.
+func NewSlotted(slots int, src *rng.Source) (*Slotted, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("radio: need at least 1 slot, got %d", slots)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("radio: nil rng source")
+	}
+	return &Slotted{Slots: slots, Src: src}, nil
+}
+
+// Name implements Medium.
+func (m *Slotted) Name() string { return fmt.Sprintf("slotted(%d)", m.Slots) }
+
+// Broadcast implements Medium.
+func (m *Slotted) Broadcast(g *topology.Graph, out []any) ([][]Frame, error) {
+	n := g.N()
+	if len(out) != n {
+		return nil, fmt.Errorf("radio: %d payloads for %d nodes", len(out), n)
+	}
+	slot := make([]int, n)
+	for s := range slot {
+		slot[s] = m.Src.Intn(m.Slots)
+	}
+	in := make([][]Frame, n)
+	for r := 0; r < n; r++ {
+		for _, s := range g.Neighbors(r) {
+			if out[s] == nil {
+				continue
+			}
+			if slot[s] == slot[r] && out[r] != nil {
+				continue // r was transmitting in that slot (half-duplex)
+			}
+			collided := false
+			for _, s2 := range g.Neighbors(r) {
+				if s2 != s && out[s2] != nil && slot[s2] == slot[s] {
+					collided = true
+					break
+				}
+			}
+			if !collided {
+				in[r] = append(in[r], Frame{From: s, Payload: out[s]})
+			}
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,276 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"selfstab/internal/rng"
+	"selfstab/internal/topology"
+)
+
+func star(t *testing.T, leaves int) *topology.Graph {
+	t.Helper()
+	g := topology.New(leaves + 1)
+	for v := 1; v <= leaves; v++ {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func payloads(n int) []any {
+	out := make([]any, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestPerfectDeliversAll(t *testing.T) {
+	g := star(t, 4)
+	in, err := Perfect{}.Broadcast(g, payloads(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in[0]) != 4 {
+		t.Errorf("center received %d frames, want 4", len(in[0]))
+	}
+	for v := 1; v < 5; v++ {
+		if len(in[v]) != 1 || in[v][0].From != 0 {
+			t.Errorf("leaf %d inbox: %v", v, in[v])
+		}
+	}
+}
+
+func TestPerfectPayloadIntact(t *testing.T) {
+	g := star(t, 1)
+	out := []any{"hello", nil}
+	in, err := Perfect{}.Broadcast(g, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in[1]) != 1 {
+		t.Fatalf("inbox: %v", in[1])
+	}
+	got, ok := in[1][0].Payload.(string)
+	if !ok || got != "hello" {
+		t.Errorf("payload = %v", in[1][0].Payload)
+	}
+}
+
+func TestPerfectSilentNode(t *testing.T) {
+	g := star(t, 2)
+	out := []any{nil, 1, 2}
+	in, err := Perfect{}.Broadcast(g, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 2; v++ {
+		if len(in[v]) != 0 {
+			t.Errorf("leaf %d heard silent center: %v", v, in[v])
+		}
+	}
+	if len(in[0]) != 2 {
+		t.Errorf("center inbox: %v", in[0])
+	}
+}
+
+func TestPerfectSizeMismatch(t *testing.T) {
+	g := star(t, 2)
+	if _, err := (Perfect{}).Broadcast(g, payloads(2)); err == nil {
+		t.Error("payload size mismatch accepted")
+	}
+}
+
+func TestBernoulliValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := NewBernoulli(0, src); err == nil {
+		t.Error("tau=0 accepted")
+	}
+	if _, err := NewBernoulli(1.5, src); err == nil {
+		t.Error("tau>1 accepted")
+	}
+	if _, err := NewBernoulli(0.5, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestBernoulliTauOneIsPerfect(t *testing.T) {
+	g := star(t, 5)
+	m, err := NewBernoulli(1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := m.Broadcast(g, payloads(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in[0]) != 5 {
+		t.Errorf("tau=1 dropped frames: %d/5", len(in[0]))
+	}
+}
+
+func TestBernoulliDeliveryRate(t *testing.T) {
+	g := star(t, 1)
+	const tau = 0.3
+	m, err := NewBernoulli(tau, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		in, err := m.Broadcast(g, payloads(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered += len(in[1])
+	}
+	rate := float64(delivered) / trials
+	if math.Abs(rate-tau) > 0.03 {
+		t.Errorf("delivery rate = %v, want ~%v", rate, tau)
+	}
+}
+
+func TestBernoulliSizeMismatch(t *testing.T) {
+	g := star(t, 2)
+	m, err := NewBernoulli(0.5, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Broadcast(g, payloads(1)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestSlottedValidation(t *testing.T) {
+	if _, err := NewSlotted(0, rng.New(1)); err == nil {
+		t.Error("0 slots accepted")
+	}
+	if _, err := NewSlotted(4, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+// TestSlottedSingleSlotAlwaysCollides: with one slot and two competing
+// neighbors, the receiver can never decode either frame.
+func TestSlottedSingleSlotAlwaysCollides(t *testing.T) {
+	g := star(t, 2) // center 0 hears leaves 1 and 2
+	m, err := NewSlotted(1, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := []any{nil, 1, 2} // center silent, leaves compete
+	for i := 0; i < 20; i++ {
+		in, err := m.Broadcast(g, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(in[0]) != 0 {
+			t.Fatalf("collision not enforced: %v", in[0])
+		}
+	}
+}
+
+// TestSlottedIsolatedLinkNeedsFreeSlot: a single sender to a silent
+// receiver always succeeds (no competitors, no half-duplex conflict).
+func TestSlottedIsolatedLinkAlwaysDelivers(t *testing.T) {
+	g := star(t, 1)
+	m, err := NewSlotted(4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := []any{nil, "x"}
+	for i := 0; i < 20; i++ {
+		in, err := m.Broadcast(g, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(in[0]) != 1 {
+			t.Fatal("lossless single link dropped a frame")
+		}
+	}
+}
+
+// TestSlottedEmergentTau measures the realized delivery probability on a
+// clique and compares it to the analytical ((S-1)/S)^(d) * order-of
+// estimate; we only require it to sit strictly between 0 and 1 and grow
+// with the slot count.
+func TestSlottedEmergentTau(t *testing.T) {
+	// Clique of 5: every broadcast competes with 3 other senders at each
+	// receiver plus the receiver's own transmission.
+	g := topology.New(5)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rate := func(slots int) float64 {
+		m, err := NewSlotted(slots, rng.New(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered, possible := 0, 0
+		for i := 0; i < 2000; i++ {
+			in, err := m.Broadcast(g, payloads(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := range in {
+				delivered += len(in[r])
+				possible += g.Degree(r)
+			}
+		}
+		return float64(delivered) / float64(possible)
+	}
+	few := rate(4)
+	many := rate(64)
+	if few <= 0 || few >= 1 {
+		t.Errorf("4-slot tau = %v, want in (0,1)", few)
+	}
+	if many <= few {
+		t.Errorf("more slots should raise tau: %v vs %v", many, few)
+	}
+	if many < 0.9 {
+		t.Errorf("64 slots over degree 4 should deliver >90%%, got %v", many)
+	}
+}
+
+func TestSlottedHalfDuplex(t *testing.T) {
+	// Two nodes, one slot, both transmitting: neither can hear the other.
+	g := star(t, 1)
+	m, err := NewSlotted(1, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := m.Broadcast(g, payloads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in[0]) != 0 || len(in[1]) != 0 {
+		t.Errorf("half-duplex violated: %v / %v", in[0], in[1])
+	}
+}
+
+func TestMediumNames(t *testing.T) {
+	if (Perfect{}).Name() != "perfect" {
+		t.Error("perfect name")
+	}
+	b, err := NewBernoulli(0.25, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "bernoulli(tau=0.25)" {
+		t.Errorf("bernoulli name = %q", b.Name())
+	}
+	s, err := NewSlotted(8, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "slotted(8)" {
+		t.Errorf("slotted name = %q", s.Name())
+	}
+}

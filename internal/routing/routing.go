@@ -1,0 +1,304 @@
+// Package routing implements the two routing architectures whose contrast
+// motivates the paper (Sections 1-2): flat proactive routing, whose
+// per-node state and control traffic grow with the whole network, and
+// cluster-based hierarchical routing over the self-stabilizing clustering,
+// where a node keeps routes only within its cluster plus a summary of the
+// cluster overlay. The experiment layer uses both to regenerate the
+// scalability argument: state per node O(n) flat vs O(cluster) + O(degree
+// of the cluster overlay) hierarchical, at a small path-stretch cost.
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/topology"
+)
+
+// ErrUnreachable is returned when no route exists between two nodes.
+var ErrUnreachable = errors.New("routing: destination unreachable")
+
+// Flat is a link-state routing table: every node knows a next hop toward
+// every other node (computed from all-pairs BFS).
+type Flat struct {
+	g    *topology.Graph
+	next [][]int // next[src][dst] = neighbor of src toward dst, -1 unreachable
+}
+
+// BuildFlat computes the flat table. O(V*E) time, O(V^2) state — the
+// scalability problem the paper opens with.
+func BuildFlat(g *topology.Graph) *Flat {
+	n := g.N()
+	f := &Flat{g: g, next: make([][]int, n)}
+	for src := 0; src < n; src++ {
+		f.next[src] = make([]int, n)
+		for i := range f.next[src] {
+			f.next[src][i] = -1
+		}
+	}
+	// One BFS per destination, recording each node's parent toward dst.
+	for dst := 0; dst < n; dst++ {
+		parent := bfsParents(g, dst)
+		for src := 0; src < n; src++ {
+			if src == dst {
+				f.next[src][dst] = src
+			} else if parent[src] >= 0 {
+				f.next[src][dst] = parent[src]
+			}
+		}
+	}
+	return f
+}
+
+// bfsParents returns, for each node, its BFS parent toward root (-1 if
+// unreachable; root's parent is itself).
+func bfsParents(g *topology.Graph, root int) []int {
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = root
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if parent[w] < 0 {
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return parent
+}
+
+// Route returns the hop sequence from src to dst (inclusive of both).
+func (f *Flat) Route(src, dst int) ([]int, error) {
+	n := f.g.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("routing: endpoints (%d, %d) out of range", src, dst)
+	}
+	path := []int{src}
+	for cur := src; cur != dst; {
+		nxt := f.next[cur][dst]
+		if nxt < 0 {
+			return nil, ErrUnreachable
+		}
+		cur = nxt
+		path = append(path, cur)
+		if len(path) > n {
+			return nil, fmt.Errorf("routing: flat table loop between %d and %d", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// StatePerNode returns the mean number of routing entries per node: n-1
+// for every node in flat routing (unreachable entries still occupy state
+// in a proactive protocol's table).
+func (f *Flat) StatePerNode() float64 {
+	return float64(f.g.N() - 1)
+}
+
+// Hierarchical routes over a clustering: each node keeps an intra-cluster
+// table (next hop toward every same-cluster member) plus one default
+// route; cluster-heads additionally keep one gateway entry per adjacent
+// cluster of the overlay.
+type Hierarchical struct {
+	g    *topology.Graph
+	head []int
+	// intra[u] maps same-cluster destinations to u's next hop.
+	intra []map[int]int
+	// overlayNext[h] maps a destination head to the next head on the
+	// overlay path.
+	overlayNext map[int]map[int]int
+	// gateway[h1][h2] is the border edge (u in h1's cluster, v in h2's)
+	// used to cross between adjacent clusters.
+	gateway map[int]map[int][2]int
+}
+
+// BuildHierarchical computes hierarchical routing state from a converged
+// assignment.
+func BuildHierarchical(g *topology.Graph, a *cluster.Assignment) (*Hierarchical, error) {
+	n := g.N()
+	if len(a.Head) != n {
+		return nil, fmt.Errorf("routing: assignment for %d nodes, graph has %d", len(a.Head), n)
+	}
+	h := &Hierarchical{
+		g:           g,
+		head:        append([]int(nil), a.Head...),
+		intra:       make([]map[int]int, n),
+		overlayNext: make(map[int]map[int]int),
+		gateway:     make(map[int]map[int][2]int),
+	}
+
+	// Intra-cluster tables: BFS restricted to the cluster, per member.
+	members := make(map[int][]int)
+	for u := 0; u < n; u++ {
+		members[a.Head[u]] = append(members[a.Head[u]], u)
+		h.intra[u] = make(map[int]int)
+	}
+	inCluster := make([]bool, n)
+	for head, ms := range members {
+		for _, u := range ms {
+			inCluster[u] = true
+		}
+		for _, dst := range ms {
+			parent := bfsParentsWithin(g, dst, inCluster)
+			for _, src := range ms {
+				if src != dst && parent[src] >= 0 {
+					h.intra[src][dst] = parent[src]
+				}
+			}
+		}
+		for _, u := range ms {
+			inCluster[u] = false
+		}
+		_ = head
+	}
+
+	// Cluster overlay: heads adjacent when their clusters share a border
+	// edge; remember one deterministic gateway edge per cluster pair.
+	heads := a.Heads()
+	overlay := topology.New(n) // sparse use: only head indices get edges
+	for u := 0; u < n; u++ {
+		hu := a.Head[u]
+		for _, v := range g.Neighbors(u) {
+			hv := a.Head[v]
+			if hu == hv {
+				continue
+			}
+			if h.gateway[hu] == nil {
+				h.gateway[hu] = make(map[int][2]int)
+			}
+			gw, exists := h.gateway[hu][hv]
+			// Keep the lexicographically smallest border edge so the
+			// table is deterministic.
+			if !exists || u < gw[0] || (u == gw[0] && v < gw[1]) {
+				h.gateway[hu][hv] = [2]int{u, v}
+			}
+			if !overlay.HasEdge(hu, hv) {
+				if err := overlay.AddEdge(hu, hv); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Overlay next-hop tables (BFS per head over the overlay).
+	for _, dstHead := range heads {
+		parent := bfsParents(overlay, dstHead)
+		for _, srcHead := range heads {
+			if srcHead == dstHead || parent[srcHead] < 0 {
+				continue
+			}
+			if h.overlayNext[srcHead] == nil {
+				h.overlayNext[srcHead] = make(map[int]int)
+			}
+			h.overlayNext[srcHead][dstHead] = parent[srcHead]
+		}
+	}
+	return h, nil
+}
+
+// bfsParentsWithin is bfsParents restricted to the member set.
+func bfsParentsWithin(g *topology.Graph, root int, member []bool) []int {
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	if !member[root] {
+		return parent
+	}
+	parent[root] = root
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if member[w] && parent[w] < 0 {
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return parent
+}
+
+// Route returns the hop sequence from src to dst: intra-cluster directly,
+// otherwise along the cluster overlay crossing one gateway edge per
+// cluster boundary.
+func (h *Hierarchical) Route(src, dst int) ([]int, error) {
+	n := h.g.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("routing: endpoints (%d, %d) out of range", src, dst)
+	}
+	if h.head[src] == h.head[dst] {
+		return h.intraRoute(src, dst)
+	}
+	path := []int{src}
+	cur := src
+	for h.head[cur] != h.head[dst] {
+		curHead := h.head[cur]
+		nextHead, ok := h.overlayNext[curHead][h.head[dst]]
+		if !ok {
+			return nil, ErrUnreachable
+		}
+		gw, ok := h.gateway[curHead][nextHead]
+		if !ok {
+			return nil, ErrUnreachable
+		}
+		// Walk inside the current cluster to the gateway's near end, then
+		// cross the border edge.
+		leg, err := h.intraRoute(cur, gw[0])
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, leg[1:]...)
+		path = append(path, gw[1])
+		cur = gw[1]
+		if len(path) > 4*n {
+			return nil, fmt.Errorf("routing: hierarchical loop between %d and %d", src, dst)
+		}
+	}
+	leg, err := h.intraRoute(cur, dst)
+	if err != nil {
+		return nil, err
+	}
+	return append(path, leg[1:]...), nil
+}
+
+// intraRoute walks the intra-cluster table.
+func (h *Hierarchical) intraRoute(src, dst int) ([]int, error) {
+	path := []int{src}
+	for cur := src; cur != dst; {
+		nxt, ok := h.intra[cur][dst]
+		if !ok {
+			return nil, ErrUnreachable
+		}
+		cur = nxt
+		path = append(path, cur)
+		if len(path) > h.g.N() {
+			return nil, fmt.Errorf("routing: intra-cluster loop between %d and %d", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// StatePerNode returns the mean number of routing entries per node:
+// the intra-cluster table plus, for heads, the overlay and gateway
+// entries. This is the quantity the paper's scalability argument is about.
+func (h *Hierarchical) StatePerNode() float64 {
+	total := 0
+	for u := range h.intra {
+		total += len(h.intra[u])
+	}
+	for head := range h.overlayNext {
+		total += len(h.overlayNext[head])
+	}
+	for head := range h.gateway {
+		total += len(h.gateway[head])
+	}
+	return float64(total) / float64(h.g.N())
+}

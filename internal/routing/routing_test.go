@@ -1,0 +1,239 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/deploy"
+	"selfstab/internal/geom"
+	"selfstab/internal/metric"
+	"selfstab/internal/rng"
+	"selfstab/internal/topology"
+)
+
+func clusteredNetwork(t *testing.T, seed int64, n int, r float64) (*topology.Graph, *cluster.Assignment) {
+	t.Helper()
+	src := rng.New(seed)
+	dep := deploy.Uniform(n, geom.UnitSquare(), deploy.IDRandom, src)
+	g := topology.FromPoints(dep.Points, r)
+	a, err := cluster.Compute(g, cluster.Config{
+		Values: metric.Density{}.Values(g),
+		TieIDs: dep.IDs,
+		Order:  cluster.OrderBasic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a
+}
+
+func validatePath(t *testing.T, g *topology.Graph, path []int, src, dst int) {
+	t.Helper()
+	if len(path) == 0 || path[0] != src || path[len(path)-1] != dst {
+		t.Fatalf("path endpoints wrong: %v (want %d..%d)", path, src, dst)
+	}
+	for i := 1; i < len(path); i++ {
+		if !g.HasEdge(path[i-1], path[i]) {
+			t.Fatalf("path uses non-edge (%d, %d): %v", path[i-1], path[i], path)
+		}
+	}
+}
+
+func TestFlatRoutesAreShortest(t *testing.T) {
+	g, _ := clusteredNetwork(t, 1, 60, 0.25)
+	f := BuildFlat(g)
+	for src := 0; src < g.N(); src += 7 {
+		dist := g.Distances(src)
+		for dst := 0; dst < g.N(); dst += 5 {
+			if dist[dst] < 0 {
+				if _, err := f.Route(src, dst); !errors.Is(err, ErrUnreachable) {
+					t.Errorf("unreachable pair (%d,%d) routed", src, dst)
+				}
+				continue
+			}
+			path, err := f.Route(src, dst)
+			if err != nil {
+				t.Fatalf("(%d,%d): %v", src, dst, err)
+			}
+			validatePath(t, g, path, src, dst)
+			if len(path)-1 != dist[dst] {
+				t.Errorf("(%d,%d): flat path %d hops, shortest %d", src, dst, len(path)-1, dist[dst])
+			}
+		}
+	}
+}
+
+func TestFlatSelfRoute(t *testing.T) {
+	g, _ := clusteredNetwork(t, 2, 20, 0.3)
+	f := BuildFlat(g)
+	path, err := f.Route(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0] != 3 {
+		t.Errorf("self route = %v", path)
+	}
+}
+
+func TestFlatValidation(t *testing.T) {
+	g, _ := clusteredNetwork(t, 3, 10, 0.3)
+	f := BuildFlat(g)
+	if _, err := f.Route(-1, 0); err == nil {
+		t.Error("negative src accepted")
+	}
+	if _, err := f.Route(0, 99); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+}
+
+func TestHierarchicalRoutesValid(t *testing.T) {
+	g, a := clusteredNetwork(t, 4, 120, 0.15)
+	h, err := BuildHierarchical(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, unreachable := 0, 0
+	for src := 0; src < g.N(); src += 11 {
+		dist := g.Distances(src)
+		for dst := 0; dst < g.N(); dst += 7 {
+			path, err := h.Route(src, dst)
+			if err != nil {
+				if dist[dst] >= 0 && errors.Is(err, ErrUnreachable) {
+					// Hierarchical routing can only fail for physically
+					// unreachable pairs: connected clusters always have
+					// overlay routes.
+					t.Errorf("(%d,%d): physically reachable but hierarchically unreachable", src, dst)
+				}
+				unreachable++
+				continue
+			}
+			validatePath(t, g, path, src, dst)
+			routed++
+		}
+	}
+	if routed == 0 {
+		t.Fatal("no pairs routed")
+	}
+	_ = unreachable
+}
+
+func TestHierarchicalIntraClusterDirect(t *testing.T) {
+	g, a := clusteredNetwork(t, 5, 80, 0.2)
+	h, err := BuildHierarchical(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-cluster pairs route without leaving the cluster.
+	for src := 0; src < g.N(); src++ {
+		for _, dst := range a.Members(a.Head[src]) {
+			path, err := h.Route(src, dst)
+			if err != nil {
+				t.Fatalf("(%d,%d) same cluster: %v", src, dst, err)
+			}
+			for _, hop := range path {
+				if a.Head[hop] != a.Head[src] {
+					t.Fatalf("intra route left the cluster: %v", path)
+				}
+			}
+		}
+		if src > 20 {
+			break // a sample suffices
+		}
+	}
+}
+
+func TestHierarchicalStretchBounded(t *testing.T) {
+	g, a := clusteredNetwork(t, 6, 150, 0.15)
+	h, err := BuildHierarchical(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalHier, totalShort int
+	for src := 0; src < g.N(); src += 13 {
+		dist := g.Distances(src)
+		for dst := 0; dst < g.N(); dst += 9 {
+			if src == dst || dist[dst] < 0 {
+				continue
+			}
+			path, err := h.Route(src, dst)
+			if err != nil {
+				continue
+			}
+			totalHier += len(path) - 1
+			totalShort += dist[dst]
+		}
+	}
+	if totalShort == 0 {
+		t.Skip("no connected sample pairs")
+	}
+	stretch := float64(totalHier) / float64(totalShort)
+	if stretch < 1 {
+		t.Errorf("stretch %v < 1: hierarchical routes shorter than shortest paths", stretch)
+	}
+	if stretch > 3 {
+		t.Errorf("stretch %v > 3: implausibly long detours", stretch)
+	}
+}
+
+func TestHierarchicalStateSmallerThanFlat(t *testing.T) {
+	g, a := clusteredNetwork(t, 7, 400, 0.1)
+	f := BuildFlat(g)
+	h, err := BuildHierarchical(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.StatePerNode() >= f.StatePerNode()/2 {
+		t.Errorf("hierarchical state %v not substantially below flat %v",
+			h.StatePerNode(), f.StatePerNode())
+	}
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	g, a := clusteredNetwork(t, 8, 20, 0.3)
+	short := &cluster.Assignment{Parent: a.Parent[:2], Head: a.Head[:2]}
+	if _, err := BuildHierarchical(g, short); err == nil {
+		t.Error("short assignment accepted")
+	}
+	h, err := BuildHierarchical(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Route(-1, 0); err == nil {
+		t.Error("negative src accepted")
+	}
+	if _, err := h.Route(0, 999); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+}
+
+func TestHierarchicalDisconnected(t *testing.T) {
+	// Two separate triangles.
+	g := topology.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := []int64{0, 1, 2, 3, 4, 5}
+	a, err := cluster.Compute(g, cluster.Config{
+		Values: metric.Density{}.Values(g),
+		TieIDs: ids,
+		Order:  cluster.OrderBasic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := BuildHierarchical(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Route(0, 4); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("cross-component route: %v", err)
+	}
+	path, err := h.Route(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validatePath(t, g, path, 0, 2)
+}

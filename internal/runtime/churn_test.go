@@ -1,0 +1,209 @@
+package runtime
+
+import (
+	"testing"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/metric"
+	"selfstab/internal/radio"
+	"selfstab/internal/rng"
+	"selfstab/internal/topology"
+)
+
+// TestChurnNodeAppears: a node that was isolated (just powered on) gets
+// radio links and integrates into the clustering without disturbing
+// legitimacy.
+func TestChurnNodeAppears(t *testing.T) {
+	g, ids := randomNetwork(91, 60, 0.2)
+	// Power the last node off: remove its links.
+	victim := 59
+	isolated := g.Clone()
+	isolated.RemoveNode(victim)
+	proto := Protocol{Order: cluster.OrderBasic, CacheTTL: 3}
+	e := mustEngine(t, isolated, ids, proto, radio.Perfect{}, 1700)
+	if _, err := e.RunUntilStable(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Node(victim).IsHead() {
+		t.Fatal("isolated node should head itself")
+	}
+	// Power it on: restore the full topology.
+	if err := e.SetGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunUntilStable(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	want, err := cluster.Compute(g, cluster.Config{
+		Values: metric.Density{}.Values(g),
+		TieIDs: ids,
+		Order:  cluster.OrderBasic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Assignment()
+	for u := 0; u < g.N(); u++ {
+		if got.Head[u] != want.Head[u] {
+			t.Errorf("node %d head = %d, oracle %d after join", u, got.Head[u], want.Head[u])
+		}
+	}
+}
+
+// TestCorruptStateOnly: state-only corruption heals (caches are intact and
+// immediately re-teach the node).
+func TestCorruptStateOnly(t *testing.T) {
+	g, ids := randomNetwork(92, 60, 0.2)
+	e := mustEngine(t, g, ids, Protocol{Order: cluster.OrderBasic}, radio.Perfect{}, 1800)
+	if _, err := e.RunUntilStable(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	legit := e.Snapshot()
+	e.Corrupt(1.0, CorruptState, rng.New(1801))
+	if _, err := e.RunUntilStable(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	healed := e.Snapshot()
+	for u := range legit.HeadID {
+		if healed.HeadID[u] != legit.HeadID[u] {
+			t.Errorf("node %d not healed from state corruption", u)
+		}
+	}
+}
+
+// TestCorruptCacheOnly: cache-only corruption heals (fresh frames replace
+// the garbage on the next step).
+func TestCorruptCacheOnly(t *testing.T) {
+	g, ids := randomNetwork(93, 60, 0.2)
+	e := mustEngine(t, g, ids, Protocol{Order: cluster.OrderBasic}, radio.Perfect{}, 1900)
+	if _, err := e.RunUntilStable(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	legit := e.Snapshot()
+	e.Corrupt(1.0, CorruptCache, rng.New(1901))
+	if _, err := e.RunUntilStable(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	healed := e.Snapshot()
+	for u := range legit.HeadID {
+		if healed.HeadID[u] != legit.HeadID[u] {
+			t.Errorf("node %d not healed from cache corruption", u)
+		}
+	}
+}
+
+// TestAdversarialHeadHijack: a targeted attack — every node is convinced
+// that a non-existent node with maximal density is its head and that the
+// phantom sits in every cache. The protocol must flush the phantom.
+func TestAdversarialHeadHijack(t *testing.T) {
+	g, ids := randomNetwork(94, 50, 0.2)
+	e := mustEngine(t, g, ids, Protocol{Order: cluster.OrderBasic}, radio.Perfect{}, 2000)
+	if _, err := e.RunUntilStable(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	legit := e.Snapshot()
+
+	const phantom = int64(999999)
+	for _, n := range e.nodes {
+		n.headID = phantom
+		n.parent = phantom
+		for _, entry := range n.cache {
+			entry.frame.HeadID = phantom
+		}
+	}
+	if _, err := e.RunUntilStable(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	healed := e.Snapshot()
+	for u := range legit.HeadID {
+		if healed.HeadID[u] == phantom {
+			t.Fatalf("node %d still heads to the phantom", u)
+		}
+		if healed.HeadID[u] != legit.HeadID[u] {
+			t.Errorf("node %d head = %d, legit %d", u, healed.HeadID[u], legit.HeadID[u])
+		}
+	}
+}
+
+// TestDensityInflationAttack: every cached density is inflated to look
+// attractive; the protocol recomputes from neighbor lists and recovers.
+func TestDensityInflationAttack(t *testing.T) {
+	g, ids := randomNetwork(95, 50, 0.2)
+	e := mustEngine(t, g, ids, Protocol{Order: cluster.OrderBasic}, radio.Perfect{}, 2100)
+	if _, err := e.RunUntilStable(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	legit := e.Snapshot()
+	for _, n := range e.nodes {
+		n.density = 1e9
+		for _, entry := range n.cache {
+			entry.frame.Density = 1e9
+		}
+	}
+	if _, err := e.RunUntilStable(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	healed := e.Snapshot()
+	want := metric.Density{}.Values(g)
+	for u := range legit.HeadID {
+		if healed.Density[u] != want[u] {
+			t.Errorf("node %d density %v, want %v", u, healed.Density[u], want[u])
+		}
+		if healed.HeadID[u] != legit.HeadID[u] {
+			t.Errorf("node %d head not restored", u)
+		}
+	}
+}
+
+// TestPartitionAndMerge: splitting the network into two halves and merging
+// them back always re-reaches the oracle for the current topology.
+func TestPartitionAndMerge(t *testing.T) {
+	g, ids := randomNetwork(96, 80, 0.2)
+	proto := Protocol{Order: cluster.OrderBasic, CacheTTL: 3}
+	e := mustEngine(t, g, ids, proto, radio.Perfect{}, 2200)
+	if _, err := e.RunUntilStable(500, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition: delete every edge crossing x = 0.5... we don't have
+	// positions here, so split by node index parity instead (an arbitrary
+	// but valid partition).
+	split := topology.New(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v > u && (u%2 == v%2) {
+				if err := split.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := e.SetGraph(split); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunUntilStable(1000, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Merge back.
+	if err := e.SetGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunUntilStable(1000, 5); err != nil {
+		t.Fatal(err)
+	}
+	want, err := cluster.Compute(g, cluster.Config{
+		Values: metric.Density{}.Values(g),
+		TieIDs: ids,
+		Order:  cluster.OrderBasic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Assignment()
+	for u := 0; u < g.N(); u++ {
+		if got.Head[u] != want.Head[u] {
+			t.Errorf("node %d head = %d, oracle %d after merge", u, got.Head[u], want.Head[u])
+		}
+	}
+}

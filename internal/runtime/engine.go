@@ -1,0 +1,366 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/radio"
+	"selfstab/internal/rng"
+	"selfstab/internal/topology"
+)
+
+// Protocol configures which layers of the stack run and how.
+type Protocol struct {
+	// UseDag enables Algorithm N1: metric ties break on locally-unique DAG
+	// colors instead of application identifiers.
+	UseDag bool
+	// Gamma is the DAG color space size |γ| (required with UseDag; must
+	// exceed the maximum degree).
+	Gamma int64
+	// Order selects the ≺ variant.
+	Order cluster.Order
+	// Fusion enables the Section 4.3 two-hop head fusion rule.
+	Fusion bool
+	// CacheTTL evicts neighbor cache entries not refreshed for this many
+	// steps. 0 disables eviction (appropriate for static topologies); under
+	// mobility or a lossy medium use a few multiples of 1/τ.
+	CacheTTL int
+	// ActivationProb models the daemon: each step, each node evaluates its
+	// guarded assignments with this probability (it still broadcasts and
+	// listens — the daemon schedules computation, not communication).
+	// 0 or 1 is the synchronous daemon of the oracle; values in (0, 1)
+	// give a randomized daemon under which self-stabilization must still
+	// hold (the paper's execution semantics only assume each enabled guard
+	// is eventually executed).
+	ActivationProb float64
+}
+
+func (p Protocol) validate(g *topology.Graph) error {
+	if p.Order != cluster.OrderBasic && p.Order != cluster.OrderSticky {
+		return fmt.Errorf("runtime: invalid order %d", int(p.Order))
+	}
+	if p.UseDag && p.Gamma <= int64(g.MaxDegree()) {
+		return fmt.Errorf("runtime: gamma %d must exceed max degree %d", p.Gamma, g.MaxDegree())
+	}
+	if p.CacheTTL < 0 {
+		return fmt.Errorf("runtime: negative cache ttl %d", p.CacheTTL)
+	}
+	if p.ActivationProb < 0 || p.ActivationProb > 1 {
+		return fmt.Errorf("runtime: activation probability %v outside [0, 1]", p.ActivationProb)
+	}
+	return nil
+}
+
+// Engine drives a set of protocol nodes over a radio medium, one Δ(τ) step
+// at a time.
+type Engine struct {
+	g      *topology.Graph
+	ids    []int64
+	idx    map[int64]int
+	proto  Protocol
+	medium radio.Medium
+	nodes  []*Node
+	daemon *rng.Source
+	step   int
+}
+
+// ErrNotStabilized is returned by RunUntilStable when the state kept
+// changing through the step budget.
+var ErrNotStabilized = errors.New("runtime: did not stabilize within the step budget")
+
+// New builds an engine over graph g with the given unique application
+// identifiers. The master rng source is split per node (DAG color draws)
+// so runs are reproducible.
+func New(g *topology.Graph, ids []int64, proto Protocol, medium radio.Medium, src *rng.Source) (*Engine, error) {
+	if g.N() == 0 {
+		return nil, errors.New("runtime: empty graph")
+	}
+	if len(ids) != g.N() {
+		return nil, fmt.Errorf("runtime: %d ids for %d nodes", len(ids), g.N())
+	}
+	if medium == nil {
+		return nil, errors.New("runtime: nil medium")
+	}
+	if src == nil {
+		return nil, errors.New("runtime: nil rng source")
+	}
+	if err := proto.validate(g); err != nil {
+		return nil, err
+	}
+	idx := make(map[int64]int, len(ids))
+	for i, id := range ids {
+		if j, dup := idx[id]; dup {
+			return nil, fmt.Errorf("runtime: duplicate id %d on nodes %d and %d", id, j, i)
+		}
+		idx[id] = i
+	}
+	e := &Engine{
+		g:      g,
+		ids:    append([]int64(nil), ids...),
+		idx:    idx,
+		proto:  proto,
+		medium: medium,
+		nodes:  make([]*Node, g.N()),
+		daemon: src.Split("daemon"),
+	}
+	for i := range e.nodes {
+		e.nodes[i] = newNode(ids[i], proto, src.SplitN("node", i))
+	}
+	return e, nil
+}
+
+// N returns the number of nodes.
+func (e *Engine) N() int { return len(e.nodes) }
+
+// StepCount returns how many steps have executed.
+func (e *Engine) StepCount() int { return e.step }
+
+// Node returns the i-th node (read-only access for assertions).
+func (e *Engine) Node(i int) *Node { return e.nodes[i] }
+
+// Graph returns the current topology.
+func (e *Engine) Graph() *topology.Graph { return e.g }
+
+// SetGraph swaps the topology (mobility/churn). Node caches are kept; stale
+// neighbors age out via the protocol's TTL, exactly as in a real network.
+func (e *Engine) SetGraph(g *topology.Graph) error {
+	if g.N() != len(e.nodes) {
+		return fmt.Errorf("runtime: new graph has %d nodes, engine has %d", g.N(), len(e.nodes))
+	}
+	e.g = g
+	return nil
+}
+
+// Step executes one Δ(τ) step: every node broadcasts its frame, the medium
+// delivers, every node ingests and runs its guarded assignments (N1, R1,
+// R2) once, in that order.
+func (e *Engine) Step() error {
+	out := make([]any, len(e.nodes))
+	for i, n := range e.nodes {
+		f := n.makeFrame()
+		out[i] = &f
+	}
+	in, err := e.medium.Broadcast(e.g, out)
+	if err != nil {
+		return fmt.Errorf("step %d: %w", e.step, err)
+	}
+	for i, n := range e.nodes {
+		frames := make([]Frame, 0, len(in[i]))
+		for _, rf := range in[i] {
+			pf, ok := rf.Payload.(*Frame)
+			if !ok {
+				return fmt.Errorf("step %d: unexpected payload %T", e.step, rf.Payload)
+			}
+			frames = append(frames, *pf)
+		}
+		n.ingest(frames, e.proto.CacheTTL)
+	}
+	for _, n := range e.nodes {
+		if e.proto.ActivationProb > 0 && e.proto.ActivationProb < 1 &&
+			e.daemon.Float64() >= e.proto.ActivationProb {
+			continue // the daemon did not schedule this node this step
+		}
+		n.guardN1(e.proto)
+		n.guardR1()
+		n.guardR2(e.proto)
+	}
+	e.step++
+	return nil
+}
+
+// Run executes exactly steps steps.
+func (e *Engine) Run(steps int) error {
+	for i := 0; i < steps; i++ {
+		if err := e.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntilStable steps the engine until the shared variables (color,
+// density, head) of every node stay unchanged for window consecutive steps,
+// or until maxSteps have run. It returns the stabilization step: the last
+// step at which anything changed (0 if already stable).
+func (e *Engine) RunUntilStable(maxSteps, window int) (int, error) {
+	if window < 1 {
+		window = 1
+	}
+	prev := e.sharedState()
+	lastChange := 0
+	for s := 1; s <= maxSteps; s++ {
+		if err := e.Step(); err != nil {
+			return 0, err
+		}
+		cur := e.sharedState()
+		if !statesEqual(prev, cur) {
+			lastChange = s
+		}
+		prev = cur
+		if s-lastChange >= window {
+			return lastChange, nil
+		}
+	}
+	return 0, ErrNotStabilized
+}
+
+// sharedVars is the per-node shared variable tuple used for stability
+// detection.
+type sharedVars struct {
+	tieID   int64
+	density float64
+	headID  int64
+	parent  int64
+}
+
+func (e *Engine) sharedState() []sharedVars {
+	s := make([]sharedVars, len(e.nodes))
+	for i, n := range e.nodes {
+		s[i] = sharedVars{tieID: n.tieID, density: n.density, headID: n.headID, parent: n.parent}
+	}
+	return s
+}
+
+func statesEqual(a, b []sharedVars) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot is a consistent copy of the network's shared state, indexed like
+// the engine's graph.
+type Snapshot struct {
+	IDs     []int64
+	TieID   []int64
+	Density []float64
+	HeadID  []int64
+	Parent  []int64
+}
+
+// Snapshot captures the current shared state of all nodes.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		IDs:     append([]int64(nil), e.ids...),
+		TieID:   make([]int64, len(e.nodes)),
+		Density: make([]float64, len(e.nodes)),
+		HeadID:  make([]int64, len(e.nodes)),
+		Parent:  make([]int64, len(e.nodes)),
+	}
+	for i, n := range e.nodes {
+		s.TieID[i] = n.tieID
+		s.Density[i] = n.density
+		s.HeadID[i] = n.headID
+		s.Parent[i] = n.parent
+	}
+	return s
+}
+
+// Assignment converts the current head/parent choices into index form for
+// comparison against the cluster oracle. Identifiers that do not resolve to
+// a node (possible only in corrupted, not-yet-stabilized states) map to -1.
+func (e *Engine) Assignment() *cluster.Assignment {
+	a := &cluster.Assignment{
+		Parent: make([]int, len(e.nodes)),
+		Head:   make([]int, len(e.nodes)),
+	}
+	for i, n := range e.nodes {
+		a.Parent[i] = e.indexOf(n.parent)
+		a.Head[i] = e.indexOf(n.headID)
+	}
+	return a
+}
+
+func (e *Engine) indexOf(id int64) int {
+	if i, ok := e.idx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// NeighborView returns the identifiers currently in node i's neighbor
+// cache — its protocol-level view of Np, which may lag the true topology
+// under loss, mobility or corruption.
+func (e *Engine) NeighborView(i int) ([]int64, error) {
+	if i < 0 || i >= len(e.nodes) {
+		return nil, fmt.Errorf("runtime: node index %d out of range", i)
+	}
+	n := e.nodes[i]
+	out := make([]int64, 0, len(n.cache))
+	for id := range n.cache {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// DagLocallyUnique reports whether the current colors are locally unique on
+// the current graph — the legitimacy predicate of Algorithm N1.
+func (e *Engine) DagLocallyUnique() bool {
+	for u := 0; u < e.g.N(); u++ {
+		for _, v := range e.g.Neighbors(u) {
+			if v > u && e.nodes[u].tieID == e.nodes[v].tieID {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CorruptionKind selects the fault model for Corrupt.
+type CorruptionKind int
+
+const (
+	// CorruptState randomizes the node's own shared variables.
+	CorruptState CorruptionKind = 1 << iota
+	// CorruptCache randomizes cached neighbor entries (stale/garbage
+	// caches are the transient faults of the shared-variable scheme).
+	CorruptCache
+	// CorruptAll is both.
+	CorruptAll = CorruptState | CorruptCache
+)
+
+// Corrupt injects transient faults: each node is independently hit with
+// probability frac; a hit node has the selected parts of its state replaced
+// with arbitrary garbage (including identifiers that do not exist in the
+// network). This is the "arbitrary initial state" of the self-stabilization
+// model.
+func (e *Engine) Corrupt(frac float64, kind CorruptionKind, src *rng.Source) {
+	garbageID := func() int64 { return src.Int63()%2000 - 1000 }
+	for _, n := range e.nodes {
+		if src.Float64() >= frac {
+			continue
+		}
+		if kind&CorruptState != 0 {
+			n.tieID = garbageID()
+			n.density = src.Float64() * 100
+			n.headID = garbageID()
+			n.parent = garbageID()
+		}
+		if kind&CorruptCache != 0 {
+			// Iterate in sorted key order so corruption consumes the rng
+			// stream deterministically (map order is randomized).
+			keys := make([]int64, 0, len(n.cache))
+			for id := range n.cache {
+				keys = append(keys, id)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, id := range keys {
+				entry := n.cache[id]
+				entry.frame.TieID = garbageID()
+				entry.frame.Density = src.Float64() * 100
+				entry.frame.HeadID = garbageID()
+				if len(entry.frame.Nbrs) > 0 {
+					i := src.Intn(len(entry.frame.Nbrs))
+					entry.frame.Nbrs[i].ID = garbageID()
+					entry.frame.Nbrs[i].HeadID = entry.frame.Nbrs[i].ID
+					entry.frame.Nbrs[i].Density = src.Float64() * 100
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package runtime executes the paper's protocol stack as an actual
+// message-passing system: nodes repeatedly broadcast their shared variables
+// (DAG color, density, cluster-head) over a lossy radio medium, cache what
+// they hear from neighbors, and evaluate the guarded assignments N1
+// (constant-height DAG construction), R1 (density computation) and R2
+// (cluster-head selection) against those caches. Time advances in the
+// paper's Δ(τ) steps: one local broadcast per node per step.
+//
+// The package is the testbed for the self-stabilization claims: state and
+// caches can be corrupted arbitrarily (transient faults) and the system
+// must return to a legitimate configuration — matching the static oracle in
+// package cluster — within a bounded expected number of steps.
+package runtime
+
+// NbrSummary is what a node relays about one of its cached neighbors.
+// Relaying it gives receivers 2-hop knowledge: neighbor lists (for the
+// density computation) and 2-hop head claims (for the fusion rule).
+type NbrSummary struct {
+	ID      int64
+	TieID   int64
+	Density float64
+	HeadID  int64
+}
+
+// Frame is one broadcast: the sender's shared variables plus a summary of
+// its current neighbor cache.
+type Frame struct {
+	ID      int64
+	TieID   int64
+	Density float64
+	HeadID  int64
+	Nbrs    []NbrSummary
+}
+
+// IsHeadClaim reports whether the frame's sender currently claims to be a
+// cluster-head.
+func (f *Frame) IsHeadClaim() bool { return f.HeadID == f.ID }

@@ -1,0 +1,249 @@
+package runtime
+
+import (
+	"sort"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/metric"
+	"selfstab/internal/rng"
+)
+
+// cacheEntry is the cached copy of a neighbor's last heard frame, plus its
+// age in steps (for eviction under mobility and churn).
+type cacheEntry struct {
+	frame Frame
+	age   int
+}
+
+// Node is one protocol participant. Its exported-shape state is exactly the
+// paper's shared variables; everything else is the cache described by the
+// shared-variable propagation scheme.
+type Node struct {
+	id      int64
+	tieID   int64 // DAG color when the DAG is enabled, else the id itself
+	density float64
+	headID  int64
+	parent  int64 // F(p): last chosen parent (own id when head)
+
+	cache map[int64]*cacheEntry
+	src   *rng.Source
+}
+
+// newNode boots a node in the protocol's cold-start state: it claims
+// headship of itself and, with the DAG enabled, draws an initial color.
+func newNode(id int64, proto Protocol, src *rng.Source) *Node {
+	n := &Node{
+		id:     id,
+		tieID:  id,
+		headID: id,
+		parent: id,
+		cache:  make(map[int64]*cacheEntry, 8),
+		src:    src,
+	}
+	if proto.UseDag {
+		n.tieID = src.Int63() % proto.Gamma
+	}
+	return n
+}
+
+// ID returns the node's application identifier.
+func (n *Node) ID() int64 { return n.id }
+
+// TieID returns the current tie-break identifier (DAG color or id).
+func (n *Node) TieID() int64 { return n.tieID }
+
+// Density returns the current shared density value.
+func (n *Node) Density() float64 { return n.density }
+
+// HeadID returns the current cluster-head choice.
+func (n *Node) HeadID() int64 { return n.headID }
+
+// ParentID returns the current parent choice F(p).
+func (n *Node) ParentID() int64 { return n.parent }
+
+// IsHead reports whether the node currently claims headship.
+func (n *Node) IsHead() bool { return n.headID == n.id }
+
+// makeFrame assembles the node's broadcast for this step.
+func (n *Node) makeFrame() Frame {
+	f := Frame{
+		ID:      n.id,
+		TieID:   n.tieID,
+		Density: n.density,
+		HeadID:  n.headID,
+		Nbrs:    make([]NbrSummary, 0, len(n.cache)),
+	}
+	for _, e := range n.cache {
+		f.Nbrs = append(f.Nbrs, NbrSummary{
+			ID:      e.frame.ID,
+			TieID:   e.frame.TieID,
+			Density: e.frame.Density,
+			HeadID:  e.frame.HeadID,
+		})
+	}
+	// Deterministic frame layout (map iteration order is randomized).
+	sort.Slice(f.Nbrs, func(i, j int) bool { return f.Nbrs[i].ID < f.Nbrs[j].ID })
+	return f
+}
+
+// ingest ages the cache, installs newly heard frames, and evicts entries
+// not refreshed within ttl steps (ttl 0 disables eviction; appropriate for
+// static topologies).
+func (n *Node) ingest(frames []Frame, ttl int) {
+	for _, e := range n.cache {
+		e.age++
+	}
+	for _, f := range frames {
+		if f.ID == n.id {
+			continue // own echo; cannot happen with honest media, but cheap to guard
+		}
+		// Deep-copy the summary list: the broadcast frame is shared between
+		// every receiver of the same transmission, and cached state must be
+		// private (fault injection corrupts one cache, not all of them).
+		f.Nbrs = append([]NbrSummary(nil), f.Nbrs...)
+		n.cache[f.ID] = &cacheEntry{frame: f}
+	}
+	if ttl > 0 {
+		for id, e := range n.cache {
+			if e.age > ttl {
+				delete(n.cache, id)
+			}
+		}
+	}
+}
+
+// guardN1 is Algorithm N1: redraw the color when it collides with a
+// neighbor's cached color and this node loses the tie (smaller application
+// identifier redraws). The fresh color avoids every cached neighbor color;
+// if the cached occupancy leaves nothing free (transient, e.g. after
+// corruption with a tiny gamma), the node keeps its color and retries next
+// step rather than spinning.
+func (n *Node) guardN1(proto Protocol) {
+	if !proto.UseDag {
+		// Without the DAG the tie identifier IS the application id; a
+		// corrupted value would silently reorder ≺ forever, so pinning it
+		// is the correction action here.
+		n.tieID = n.id
+		return
+	}
+	// Self-stabilization: a corrupted color outside the name space is
+	// always illegitimate; normalize it first.
+	if n.tieID < 0 || n.tieID >= proto.Gamma {
+		n.tieID = n.src.Int63() % proto.Gamma
+	}
+	conflict := false
+	for _, e := range n.cache {
+		if e.frame.TieID == n.tieID && n.id < e.frame.ID {
+			conflict = true
+			break
+		}
+	}
+	if !conflict {
+		return
+	}
+	taken := make(map[int64]bool, len(n.cache))
+	for _, e := range n.cache {
+		taken[e.frame.TieID] = true
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		c := n.src.Int63() % proto.Gamma
+		if !taken[c] {
+			n.tieID = c
+			return
+		}
+	}
+}
+
+// guardR1 recomputes the shared density from cached neighbor lists
+// (Definition 1 evaluated on 2-hop knowledge).
+func (n *Node) guardR1() {
+	own := make([]int64, 0, len(n.cache))
+	lists := make(map[int64][]int64, len(n.cache))
+	for id, e := range n.cache {
+		own = append(own, id)
+		l := make([]int64, 0, len(e.frame.Nbrs))
+		for _, s := range e.frame.Nbrs {
+			l = append(l, s.ID)
+		}
+		lists[id] = l
+	}
+	n.density = metric.DensityFromTables(n.id, own, lists)
+}
+
+// guardR2 is the cluster-head selection rule, including the Section 4.3
+// fusion variant when enabled.
+func (n *Node) guardR2(proto Protocol) {
+	myRank := cluster.Rank{Value: n.density, TieID: n.tieID, IsHead: n.IsHead(), AppID: n.id}
+
+	// Find the ≺-maximal cached neighbor.
+	bestID := int64(-1)
+	var bestRank cluster.Rank
+	var bestHead int64
+	dominated := false
+	for id, e := range n.cache {
+		r := rankOf(e.frame)
+		if proto.Order.Less(myRank, r) {
+			dominated = true
+		}
+		if bestID < 0 || proto.Order.Less(bestRank, r) {
+			bestID, bestRank, bestHead = id, r, e.frame.HeadID
+		}
+	}
+
+	if dominated {
+		// Join the ≺-maximal neighbor and adopt its head.
+		n.parent = bestID
+		n.headID = bestHead
+		return
+	}
+
+	if proto.Fusion {
+		// 2-hop guard: adopt the ≺-greatest head claimant two hops away
+		// that beats this node, if any (the fusion: this node's cluster
+		// merges into that head's).
+		adoptID := int64(-1)
+		var adoptRank cluster.Rank
+		adoptVia := int64(-1)
+		var adoptViaRank cluster.Rank
+		for via, e := range n.cache {
+			viaRank := rankOf(e.frame)
+			for _, s := range e.frame.Nbrs {
+				if s.ID == n.id || s.HeadID != s.ID {
+					continue
+				}
+				if _, oneHop := n.cache[s.ID]; oneHop {
+					continue // 1-hop claimants are covered by the ≺ scan
+				}
+				r := cluster.Rank{Value: s.Density, TieID: s.TieID, IsHead: true, AppID: s.ID}
+				if !proto.Order.Less(myRank, r) {
+					continue
+				}
+				// Adopt a strictly greater head; when the same head is
+				// relayed by several neighbors, relay through the
+				// ≺-maximal one (deterministic regardless of cache
+				// iteration order).
+				switch {
+				case adoptID < 0 || proto.Order.Less(adoptRank, r):
+					adoptID, adoptRank = s.ID, r
+					adoptVia, adoptViaRank = via, viaRank
+				case s.ID == adoptID && proto.Order.Less(adoptViaRank, viaRank):
+					adoptVia, adoptViaRank = via, viaRank
+				}
+			}
+		}
+		if adoptID >= 0 {
+			n.headID = adoptID
+			n.parent = adoptVia
+			return
+		}
+	}
+
+	// Locally maximal (and unchallenged within two hops): claim headship.
+	n.headID = n.id
+	n.parent = n.id
+}
+
+// rankOf extracts the comparison rank from a cached frame.
+func rankOf(f Frame) cluster.Rank {
+	return cluster.Rank{Value: f.Density, TieID: f.TieID, IsHead: f.HeadID == f.ID, AppID: f.ID}
+}

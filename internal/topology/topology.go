@@ -1,0 +1,330 @@
+// Package topology provides the graph substrate of the simulator: unit-disk
+// graphs built from node positions, k-hop neighborhoods, BFS distances,
+// connected components and eccentricities. All node references are dense
+// indices 0..N-1; application-level identifiers live one layer up.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"selfstab/internal/geom"
+)
+
+// Graph is an undirected graph over nodes 0..N-1 with sorted adjacency
+// lists. The zero value is an empty graph; use New to size one.
+type Graph struct {
+	adj [][]int
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// FromPoints builds the unit-disk graph over pts: nodes u != v are adjacent
+// iff their Euclidean distance is at most r. This is the paper's radio
+// model — communication is bidirectional by construction (q in Np iff
+// p in Nq). Construction uses a uniform grid spatial index so the paper's
+// lambda = 1000 deployments build in O(n) expected time.
+func FromPoints(pts []geom.Point, r float64) *Graph {
+	g := New(len(pts))
+	if r <= 0 || len(pts) < 2 {
+		return g
+	}
+	// Bucket points into cells of side r; neighbors can only be in the
+	// 3x3 cell block around a point's cell.
+	minX, minY := math.Inf(1), math.Inf(1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+	}
+	type cell struct{ cx, cy int }
+	buckets := make(map[cell][]int, len(pts))
+	cellOf := func(p geom.Point) cell {
+		return cell{int((p.X - minX) / r), int((p.Y - minY) / r)}
+	}
+	for i, p := range pts {
+		c := cellOf(p)
+		buckets[c] = append(buckets[c], i)
+	}
+	r2 := r * r
+	for i, p := range pts {
+		c := cellOf(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range buckets[cell{c.cx + dx, c.cy + dy}] {
+					if j <= i {
+						continue
+					}
+					if p.Dist2(pts[j]) <= r2 {
+						g.adj[i] = append(g.adj[i], j)
+						g.adj[j] = append(g.adj[j], i)
+					}
+				}
+			}
+		}
+	}
+	for i := range g.adj {
+		sort.Ints(g.adj[i])
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddEdge inserts the undirected edge (u, v). Self-loops and duplicates are
+// rejected with an error so test fixtures fail loudly on typos.
+func (g *Graph) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("self-loop on node %d", u)
+	}
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("edge (%d, %d) out of range [0, %d)", u, v, len(g.adj))
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("duplicate edge (%d, %d)", u, v)
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	return nil
+}
+
+func insertSorted(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	xs := g.adj[u]
+	i := sort.SearchInts(xs, v)
+	return i < len(xs) && xs[i] == v
+}
+
+// Neighbors returns the sorted adjacency list of u. The returned slice is
+// shared with the graph: callers must not modify it.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns |N(u)|.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns delta, the maximum degree over all nodes (0 for an
+// empty graph). The paper assumes a known constant bound delta on degree;
+// experiments use the realized maximum.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int {
+	sum := 0
+	for _, a := range g.adj {
+		sum += len(a)
+	}
+	return sum / 2
+}
+
+// KNeighborhood returns N^k(u): every node within graph distance 1..k of u,
+// excluding u itself, in sorted order. k <= 0 yields an empty slice.
+func (g *Graph) KNeighborhood(u, k int) []int {
+	if k <= 0 || u < 0 || u >= len(g.adj) {
+		return nil
+	}
+	dist := map[int]int{u: 0}
+	frontier := []int{u}
+	var out []int
+	for d := 1; d <= k && len(frontier) > 0; d++ {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range g.adj[v] {
+				if _, seen := dist[w]; !seen {
+					dist[w] = d
+					next = append(next, w)
+					out = append(out, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Distances returns the BFS hop distance from u to every node; unreachable
+// nodes get -1.
+func (g *Graph) Distances(u int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	if u < 0 || u >= len(g.adj) {
+		return dist
+	}
+	dist[u] = 0
+	queue := []int{u}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// DistancesWithin returns BFS distances from u restricted to the node set
+// `member` (nodes where member[v] is true). Used for cluster-head
+// eccentricity inside a cluster. Nodes outside the set, or unreachable
+// through it, get -1.
+func (g *Graph) DistancesWithin(u int, member []bool) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	if u < 0 || u >= len(g.adj) || !member[u] {
+		return dist
+	}
+	dist[u] = 0
+	queue := []int{u}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if member[w] && dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum finite BFS distance from u, i.e. the
+// eccentricity of u within its connected component.
+func (g *Graph) Eccentricity(u int) int {
+	max := 0
+	for _, d := range g.Distances(u) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Components returns a component label per node (labels are 0-based and
+// dense) and the number of components.
+func (g *Graph) Components() ([]int, int) {
+	comp := make([]int, len(g.adj))
+	for i := range comp {
+		comp[i] = -1
+	}
+	n := 0
+	for s := range g.adj {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = n
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if comp[w] < 0 {
+					comp[w] = n
+					queue = append(queue, w)
+				}
+			}
+		}
+		n++
+	}
+	return comp, n
+}
+
+// IsConnected reports whether the graph has exactly one connected component
+// (the empty graph is considered connected).
+func (g *Graph) IsConnected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	_, n := g.Components()
+	return n == 1
+}
+
+// Diameter returns the largest eccentricity within any component
+// (ignoring unreachable pairs). It is O(V*E); fine at experiment scale.
+func (g *Graph) Diameter() int {
+	max := 0
+	for u := range g.adj {
+		if e := g.Eccentricity(u); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// ClosedNeighborhoodLinks returns, for node u, the number of edges
+// e = (v, w) with w in {u} ∪ N(u) and v in N(u) — the numerator of the
+// paper's density metric (Definition 1). Equivalently: deg(u) plus the
+// number of edges between two neighbors of u.
+func (g *Graph) ClosedNeighborhoodLinks(u int) int {
+	nbrs := g.adj[u]
+	count := len(nbrs) // edges from u to each neighbor
+	for i, v := range nbrs {
+		for _, w := range nbrs[i+1:] {
+			if g.HasEdge(v, w) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(len(g.adj))
+	for i, a := range g.adj {
+		c.adj[i] = append([]int(nil), a...)
+	}
+	return c
+}
+
+// RemoveNode detaches u from all its neighbors (u stays as an isolated
+// vertex so indices remain stable). Used by churn experiments.
+func (g *Graph) RemoveNode(u int) {
+	if u < 0 || u >= len(g.adj) {
+		return
+	}
+	for _, v := range g.adj[u] {
+		g.adj[v] = removeSorted(g.adj[v], u)
+	}
+	g.adj[u] = nil
+}
+
+func removeSorted(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	if i < len(xs) && xs[i] == v {
+		return append(xs[:i], xs[i+1:]...)
+	}
+	return xs
+}

@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"testing"
+
+	"selfstab/internal/geom"
+	"selfstab/internal/rng"
+)
+
+func benchPoints(n int, seed int64) []geom.Point {
+	src := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: src.Float64(), Y: src.Float64()}
+	}
+	return pts
+}
+
+// BenchmarkFromPoints1000 is the paper-scale unit-disk construction
+// (lambda = 1000, R = 0.1): the per-run setup cost of every experiment.
+func BenchmarkFromPoints1000(b *testing.B) {
+	pts := benchPoints(1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromPoints(pts, 0.1)
+	}
+}
+
+// BenchmarkFromPointsBruteForceComparison shows why the grid index
+// matters: the quadratic construction at the same scale.
+func BenchmarkFromPointsBruteForceComparison(b *testing.B) {
+	pts := benchPoints(1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := New(len(pts))
+		for u := range pts {
+			for v := u + 1; v < len(pts); v++ {
+				if pts[u].Dist2(pts[v]) <= 0.01 {
+					g.adj[u] = append(g.adj[u], v)
+					g.adj[v] = append(g.adj[v], u)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkClosedNeighborhoodLinks is the density numerator, evaluated for
+// every node — the metric layer's hot loop.
+func BenchmarkClosedNeighborhoodLinks(b *testing.B) {
+	g := FromPoints(benchPoints(1000, 2), 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for u := 0; u < g.N(); u++ {
+			g.ClosedNeighborhoodLinks(u)
+		}
+	}
+}
+
+// BenchmarkKNeighborhood2 is the fusion rule's 2-hop scan.
+func BenchmarkKNeighborhood2(b *testing.B) {
+	g := FromPoints(benchPoints(1000, 3), 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KNeighborhood(i%g.N(), 2)
+	}
+}
+
+// BenchmarkDistances is one BFS at paper scale (eccentricity inner loop).
+func BenchmarkDistances(b *testing.B) {
+	g := FromPoints(benchPoints(1000, 4), 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Distances(i % g.N())
+	}
+}

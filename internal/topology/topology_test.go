@@ -1,0 +1,386 @@
+package topology
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"selfstab/internal/geom"
+	"selfstab/internal/rng"
+)
+
+// path returns the path graph 0-1-2-...-(n-1).
+func path(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestNewEmpty(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.Edges() != 0 || !g.IsConnected() {
+		t.Error("empty graph invariants violated")
+	}
+	if New(-3).N() != 0 {
+		t.Error("negative size should clamp to 0")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate (reversed) edge accepted")
+	}
+}
+
+func TestAdjacencySortedAndSymmetric(t *testing.T) {
+	g := New(5)
+	for _, e := range [][2]int{{3, 1}, {3, 0}, {3, 4}, {1, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{0, 1, 4}
+	got := g.Neighbors(3)
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors(3) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(3) = %v, want %v", got, want)
+		}
+	}
+	for u := 0; u < 5; u++ {
+		for _, v := range g.Neighbors(u) {
+			if !g.HasEdge(v, u) {
+				t.Errorf("asymmetric edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestHasEdgeOutOfRange(t *testing.T) {
+	g := New(2)
+	if g.HasEdge(-1, 0) || g.HasEdge(5, 0) {
+		t.Error("HasEdge out of range should be false")
+	}
+}
+
+func TestDegreeAndMaxDegree(t *testing.T) {
+	g := New(4) // star centered on 0
+	for v := 1; v < 4; v++ {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Degree(0) != 3 || g.Degree(1) != 1 {
+		t.Errorf("degrees: %d, %d", g.Degree(0), g.Degree(1))
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+	if g.Edges() != 3 {
+		t.Errorf("Edges = %d", g.Edges())
+	}
+}
+
+func TestFromPointsUnitDisk(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 0.04, Y: 0}, {X: 0.2, Y: 0}, {X: 0.2, Y: 0.04},
+	}
+	g := FromPoints(pts, 0.05)
+	if !g.HasEdge(0, 1) {
+		t.Error("nodes at distance 0.04 should be adjacent at r=0.05")
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("nodes at distance 0.16 should not be adjacent at r=0.05")
+	}
+	if !g.HasEdge(2, 3) {
+		t.Error("nodes at distance 0.04 should be adjacent")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("far nodes adjacent")
+	}
+}
+
+func TestFromPointsBoundaryExactlyR(t *testing.T) {
+	g := FromPoints([]geom.Point{{X: 0, Y: 0}, {X: 0.05, Y: 0}}, 0.05)
+	if !g.HasEdge(0, 1) {
+		t.Error("distance exactly r should be adjacent (closed disk)")
+	}
+}
+
+func TestFromPointsDegenerate(t *testing.T) {
+	if g := FromPoints(nil, 0.1); g.N() != 0 {
+		t.Error("nil points")
+	}
+	if g := FromPoints([]geom.Point{{X: 0, Y: 0}}, 0.1); g.N() != 1 || g.Edges() != 0 {
+		t.Error("single point")
+	}
+	if g := FromPoints([]geom.Point{{X: 0, Y: 0}, {X: 0, Y: 0}}, 0); g.Edges() != 0 {
+		t.Error("r=0 should produce no edges")
+	}
+}
+
+// TestFromPointsMatchesBruteForce cross-checks the spatial-index
+// construction against the O(n^2) definition on random instances.
+func TestFromPointsMatchesBruteForce(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + src.Intn(70)
+		r := 0.05 + src.Float64()*0.2
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: src.Float64(), Y: src.Float64()}
+		}
+		g := FromPoints(pts, r)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				want := pts[u].Dist(pts[v]) <= r
+				if got := g.HasEdge(u, v); got != want {
+					t.Fatalf("trial %d: edge (%d,%d) = %v, want %v (dist %v, r %v)",
+						trial, u, v, got, want, pts[u].Dist(pts[v]), r)
+				}
+			}
+		}
+	}
+}
+
+func TestKNeighborhoodPath(t *testing.T) {
+	g := path(t, 7) // 0-1-2-3-4-5-6
+	tests := []struct {
+		u, k int
+		want []int
+	}{
+		{3, 1, []int{2, 4}},
+		{3, 2, []int{1, 2, 4, 5}},
+		{3, 3, []int{0, 1, 2, 4, 5, 6}},
+		{0, 2, []int{1, 2}},
+		{3, 0, nil},
+		{3, 10, []int{0, 1, 2, 4, 5, 6}},
+	}
+	for _, tt := range tests {
+		got := g.KNeighborhood(tt.u, tt.k)
+		if len(got) != len(tt.want) {
+			t.Errorf("K(%d,%d) = %v, want %v", tt.u, tt.k, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("K(%d,%d) = %v, want %v", tt.u, tt.k, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestKNeighborhoodExcludesSelf(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		for _, v := range g.KNeighborhood(0, k) {
+			if v == 0 {
+				t.Errorf("k=%d: neighborhood contains the node itself", k)
+			}
+		}
+	}
+}
+
+func TestDistancesPath(t *testing.T) {
+	g := path(t, 5)
+	d := g.Distances(0)
+	for i := 0; i < 5; i++ {
+		if d[i] != i {
+			t.Errorf("dist(0,%d) = %d, want %d", i, d[i], i)
+		}
+	}
+}
+
+func TestDistancesUnreachable(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := g.Distances(0)
+	if d[2] != -1 || d[3] != -1 {
+		t.Errorf("unreachable nodes should be -1: %v", d)
+	}
+}
+
+func TestDistancesWithin(t *testing.T) {
+	g := path(t, 5)
+	member := []bool{true, true, false, true, true}
+	d := g.DistancesWithin(0, member)
+	if d[0] != 0 || d[1] != 1 {
+		t.Errorf("in-set distances wrong: %v", d)
+	}
+	if d[2] != -1 {
+		t.Errorf("non-member got distance %d", d[2])
+	}
+	if d[3] != -1 || d[4] != -1 {
+		t.Errorf("nodes cut off by non-member should be -1: %v", d)
+	}
+	// Starting at a non-member yields all -1.
+	d = g.DistancesWithin(2, member)
+	for i, v := range d {
+		if v != -1 {
+			t.Errorf("start at non-member: d[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := path(t, 6)
+	if e := g.Eccentricity(0); e != 5 {
+		t.Errorf("ecc(0) = %d, want 5", e)
+	}
+	if e := g.Eccentricity(2); e != 3 {
+		t.Errorf("ecc(2) = %d, want 3", e)
+	}
+	if d := g.Diameter(); d != 5 {
+		t.Errorf("diameter = %d, want 5", d)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	comp, n := g.Components()
+	if n != 4 { // {0,1}, {2,3}, {4}, {5}
+		t.Fatalf("components = %d, want 4 (%v)", n, comp)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] {
+		t.Errorf("component labels wrong: %v", comp)
+	}
+	if comp[0] == comp[2] || comp[4] == comp[5] {
+		t.Errorf("distinct components merged: %v", comp)
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestClosedNeighborhoodLinksTriangle(t *testing.T) {
+	g := New(3)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each node: 2 incident edges + 1 edge between its two neighbors.
+	for u := 0; u < 3; u++ {
+		if got := g.ClosedNeighborhoodLinks(u); got != 3 {
+			t.Errorf("links(%d) = %d, want 3", u, got)
+		}
+	}
+}
+
+func TestClosedNeighborhoodLinksStar(t *testing.T) {
+	g := New(5)
+	for v := 1; v < 5; v++ {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.ClosedNeighborhoodLinks(0); got != 4 {
+		t.Errorf("center links = %d, want 4 (no edges among leaves)", got)
+	}
+	if got := g.ClosedNeighborhoodLinks(1); got != 1 {
+		t.Errorf("leaf links = %d, want 1", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := path(t, 3)
+	c := g.Clone()
+	if err := c.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := path(t, 4) // 0-1-2-3
+	g.RemoveNode(1)
+	if g.Degree(1) != 0 {
+		t.Error("removed node kept neighbors")
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 2) {
+		t.Error("stale edges after RemoveNode")
+	}
+	if !g.HasEdge(2, 3) {
+		t.Error("unrelated edge lost")
+	}
+	g.RemoveNode(-1) // must not panic
+	g.RemoveNode(99)
+}
+
+// Property: in any unit-disk graph, KNeighborhood(u, diameter) spans u's
+// whole component.
+func TestKNeighborhoodSpansComponent(t *testing.T) {
+	src := rng.New(5)
+	f := func(seed int64) bool {
+		local := rng.New(seed)
+		n := 10 + local.Intn(40)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: local.Float64(), Y: local.Float64()}
+		}
+		g := FromPoints(pts, 0.3)
+		u := local.Intn(n)
+		nbh := g.KNeighborhood(u, n) // n >= any diameter
+		dist := g.Distances(u)
+		reachable := 0
+		for v, d := range dist {
+			if v != u && d > 0 {
+				reachable++
+				if !contains(nbh, v) {
+					return false
+				}
+			}
+		}
+		return reachable == len(nbh)
+	}
+	cfg := &quick.Config{MaxCount: 30, Values: nil}
+	_ = src
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func contains(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}

@@ -1,0 +1,172 @@
+// Package viz renders clustered networks the way the paper's figures do:
+// nodes in the unit square, edges of the unit-disk graph, cluster-heads
+// highlighted, and cluster membership shown by color (SVG) or by letter
+// (ASCII). It regenerates Figures 2 and 3 (the grid scenario with and
+// without the DAG) and the Figure 1 style example rendering.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/geom"
+	"selfstab/internal/topology"
+)
+
+// palette holds visually distinct fill colors; cluster i uses palette[i %
+// len(palette)].
+var palette = []string{
+	"#e6194b", "#3cb44b", "#ffe119", "#4363d8", "#f58231",
+	"#911eb4", "#46f0f0", "#f032e6", "#bcf60c", "#fabebe",
+	"#008080", "#e6beff", "#9a6324", "#fffac8", "#800000",
+	"#aaffc3", "#808000", "#ffd8b1", "#000075", "#808080",
+}
+
+// SVG renders the clustered network as a standalone SVG document of the
+// given pixel size. Cluster-heads are drawn larger with a black outline;
+// member nodes inherit their cluster's color; intra-cluster edges are
+// tinted, inter-cluster edges are light gray.
+func SVG(g *topology.Graph, pts []geom.Point, a *cluster.Assignment, size int) (string, error) {
+	if g.N() != len(pts) {
+		return "", fmt.Errorf("viz: %d points for %d nodes", len(pts), g.N())
+	}
+	if len(a.Head) != g.N() {
+		return "", fmt.Errorf("viz: assignment for %d nodes, graph has %d", len(a.Head), g.N())
+	}
+	if size < 64 {
+		size = 64
+	}
+
+	colorOf := clusterColors(a)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		size, size, size, size)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", size, size)
+
+	px := func(p geom.Point) (float64, float64) {
+		// SVG y grows downward; flip so the figure matches the paper's
+		// bottom-left origin.
+		return p.X * float64(size), (1 - p.Y) * float64(size)
+	}
+
+	// Edges first so nodes draw on top.
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			x1, y1 := px(pts[u])
+			x2, y2 := px(pts[v])
+			stroke, width := "#dddddd", 0.5
+			if a.Head[u] == a.Head[v] {
+				stroke, width = colorOf[a.Head[u]], 0.8
+			}
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f" stroke-opacity="0.6"/>`+"\n",
+				x1, y1, x2, y2, stroke, width)
+		}
+	}
+	r := float64(size) / 220
+	if r < 2 {
+		r = 2
+	}
+	for u := 0; u < g.N(); u++ {
+		x, y := px(pts[u])
+		c := colorOf[a.Head[u]]
+		if a.Head[u] == u {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="black" stroke-width="1.5"/>`+"\n",
+				x, y, 1.8*r, c)
+		} else {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, c)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// clusterColors assigns a stable palette color to each head.
+func clusterColors(a *cluster.Assignment) map[int]string {
+	colors := make(map[int]string, 8)
+	i := 0
+	for _, h := range a.Heads() {
+		colors[h] = palette[i%len(palette)]
+		i++
+	}
+	// Defensive: nodes whose head is not a fixpoint (transient states)
+	// still render.
+	for _, h := range a.Head {
+		if _, ok := colors[h]; !ok {
+			colors[h] = "#cccccc"
+		}
+	}
+	return colors
+}
+
+// ASCII renders the clustered network as a rows x cols character map:
+// each cell shows the cluster letter of the nearest node in it (uppercase
+// if that node is the cluster-head, '.' for empty cells). It is the quick
+// terminal view used by the examples.
+func ASCII(g *topology.Graph, pts []geom.Point, a *cluster.Assignment, rows, cols int) (string, error) {
+	if g.N() != len(pts) {
+		return "", fmt.Errorf("viz: %d points for %d nodes", len(pts), g.N())
+	}
+	if len(a.Head) != g.N() {
+		return "", fmt.Errorf("viz: assignment for %d nodes, graph has %d", len(a.Head), g.N())
+	}
+	if rows < 1 || cols < 1 {
+		return "", fmt.Errorf("viz: invalid grid %dx%d", rows, cols)
+	}
+
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	letterOf := make(map[int]byte, 8)
+	i := 0
+	for _, h := range a.Heads() {
+		letterOf[h] = letters[i%len(letters)]
+		i++
+	}
+	for _, h := range a.Head {
+		if _, ok := letterOf[h]; !ok {
+			letterOf[h] = '?'
+		}
+	}
+
+	type cellInfo struct {
+		node int
+		head bool
+		used bool
+	}
+	cells := make([]cellInfo, rows*cols)
+	for u, p := range pts {
+		c := int(p.X * float64(cols))
+		r := int((1 - p.Y) * float64(rows))
+		if c >= cols {
+			c = cols - 1
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		idx := r*cols + c
+		isHead := a.Head[u] == u
+		// Heads win the cell; otherwise first node claims it.
+		if !cells[idx].used || (isHead && !cells[idx].head) {
+			cells[idx] = cellInfo{node: u, head: isHead, used: true}
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cell := cells[r*cols+c]
+			if !cell.used {
+				b.WriteByte('.')
+				continue
+			}
+			ch := letterOf[a.Head[cell.node]]
+			if cell.head {
+				ch = ch - 'a' + 'A'
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,246 @@
+package selfstab
+
+import (
+	"fmt"
+	"sort"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/geom"
+	"selfstab/internal/metric"
+	"selfstab/internal/runtime"
+	"selfstab/internal/topology"
+	"selfstab/internal/viz"
+)
+
+// N returns the number of nodes.
+func (n *Network) N() int { return len(n.pts) }
+
+// IDs returns a copy of the node identifiers, indexed like Positions.
+func (n *Network) IDs() []int64 { return append([]int64(nil), n.ids...) }
+
+// Positions returns a copy of the node positions.
+func (n *Network) Positions() []Point {
+	out := make([]Point, len(n.pts))
+	for i, p := range n.pts {
+		out[i] = Point{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+// Range returns the radio transmission range.
+func (n *Network) Range() float64 { return n.cfg.radioRng }
+
+// StepCount returns how many Δ(τ) steps have executed.
+func (n *Network) StepCount() int { return n.engine.StepCount() }
+
+// Step advances the protocol by one Δ(τ) step: every node broadcasts once
+// and evaluates its guarded assignments.
+func (n *Network) Step() error { return n.engine.Step() }
+
+// Run advances the protocol by exactly steps steps.
+func (n *Network) Run(steps int) error { return n.engine.Run(steps) }
+
+// Stabilize steps the protocol until the shared state stops changing
+// (stable for a 5-step window) and returns the step index at which the
+// last change happened. It fails if maxSteps is exhausted first — with a
+// lossy medium allow a generous budget.
+func (n *Network) Stabilize(maxSteps int) (int, error) {
+	return n.engine.RunUntilStable(maxSteps, 5)
+}
+
+// InjectFaults corrupts each node's protocol state and neighbor caches
+// with probability frac (1 = every node), simulating the arbitrary
+// transient faults of the self-stabilization model. Call Stabilize
+// afterwards and the network heals.
+func (n *Network) InjectFaults(frac float64) {
+	if frac <= 0 {
+		return
+	}
+	n.engine.Corrupt(frac, runtime.CorruptAll, n.src.Split("faults"))
+}
+
+// NodeState is the externally visible protocol state of one node.
+type NodeState struct {
+	ID       int64
+	Position Point
+	Density  float64
+	HeadID   int64
+	ParentID int64
+	Color    int64 // DAG color (equals ID when the DAG is disabled)
+	IsHead   bool
+}
+
+// State returns the current protocol state of node i (by index).
+func (n *Network) State(i int) (NodeState, error) {
+	if i < 0 || i >= len(n.pts) {
+		return NodeState{}, fmt.Errorf("selfstab: node index %d out of range [0, %d)", i, len(n.pts))
+	}
+	node := n.engine.Node(i)
+	return NodeState{
+		ID:       node.ID(),
+		Position: Point{X: n.pts[i].X, Y: n.pts[i].Y},
+		Density:  node.Density(),
+		HeadID:   node.HeadID(),
+		ParentID: node.ParentID(),
+		Color:    node.TieID(),
+		IsHead:   node.IsHead(),
+	}, nil
+}
+
+// Cluster is one cluster of the current configuration.
+type Cluster struct {
+	// HeadID is the cluster-head's identifier.
+	HeadID int64
+	// Members lists the identifiers of all cluster members (including the
+	// head), ascending.
+	Members []int64
+}
+
+// Clusters groups nodes by their current cluster-head choice, sorted by
+// head identifier. In a stabilized network this is the legitimate
+// clustering; mid-convergence it is whatever the nodes currently believe.
+func (n *Network) Clusters() []Cluster {
+	byHead := make(map[int64][]int64, 8)
+	for i := range n.pts {
+		node := n.engine.Node(i)
+		byHead[node.HeadID()] = append(byHead[node.HeadID()], node.ID())
+	}
+	out := make([]Cluster, 0, len(byHead))
+	for h, ms := range byHead {
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		out = append(out, Cluster{HeadID: h, Members: ms})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].HeadID < out[j].HeadID })
+	return out
+}
+
+// Stats summarizes the current clustering (see the paper's Tables 4-5).
+type Stats struct {
+	Clusters             int
+	MeanHeadEccentricity float64
+	MaxHeadEccentricity  int
+	MeanTreeLength       float64
+	MaxTreeLength        int
+}
+
+// Stats measures the current clustering against the true topology.
+func (n *Network) Stats() Stats {
+	s := n.engine.Assignment().ComputeStats(n.g)
+	return Stats{
+		Clusters:             s.NumClusters,
+		MeanHeadEccentricity: s.MeanHeadEccentricity,
+		MaxHeadEccentricity:  s.MaxHeadEccentricity,
+		MeanTreeLength:       s.MeanTreeLength,
+		MaxTreeLength:        s.MaxTreeLength,
+	}
+}
+
+// Verify checks that the current configuration is legitimate: every node's
+// density matches Definition 1 on the true topology, colors are locally
+// unique, head/parent structure satisfies the paper's invariants, and the
+// head assignment equals the static fixpoint oracle for the current
+// colors. It returns nil for a stabilized network and a descriptive error
+// otherwise — the executable version of the paper's correctness proofs.
+func (n *Network) Verify() error {
+	snap := n.engine.Snapshot()
+	// Densities (Lemma 1).
+	want := metric.Density{}.Values(n.g)
+	for i := range snap.Density {
+		if diff := snap.Density[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("selfstab: node %d density %v, want %v", i, snap.Density[i], want[i])
+		}
+	}
+	// Locally unique colors (Theorem 1 legitimacy).
+	if n.cfg.useDag && !n.engine.DagLocallyUnique() {
+		return fmt.Errorf("selfstab: DAG colors not locally unique")
+	}
+	// Head fixpoint (Lemma 2): equals the oracle on the realized colors.
+	order := cluster.OrderBasic
+	if n.cfg.sticky {
+		order = cluster.OrderSticky
+	}
+	oracle, err := cluster.Compute(n.g, cluster.Config{
+		Values:   want,
+		TieIDs:   snap.TieID,
+		AppIDs:   n.ids,
+		Order:    order,
+		Fusion:   n.cfg.fusion,
+		PrevHead: n.engine.Assignment().Head,
+	})
+	if err != nil {
+		return fmt.Errorf("selfstab: oracle: %w", err)
+	}
+	got := n.engine.Assignment()
+	for u := range got.Head {
+		if got.Head[u] != oracle.Head[u] {
+			return fmt.Errorf("selfstab: node %d heads %d, oracle fixpoint %d", u, got.Head[u], oracle.Head[u])
+		}
+	}
+	if err := cluster.CheckInvariants(n.g, got, n.cfg.fusion); err != nil {
+		return fmt.Errorf("selfstab: %w", err)
+	}
+	return nil
+}
+
+// SetPositions moves the nodes (mobility) and rebuilds the radio topology.
+// Combine with WithCacheTTL so stale neighbors age out of caches.
+func (n *Network) SetPositions(positions []Point) error {
+	if len(positions) != len(n.pts) {
+		return fmt.Errorf("selfstab: %d positions for %d nodes", len(positions), len(n.pts))
+	}
+	pts := make([]geom.Point, len(positions))
+	for i, p := range positions {
+		pts[i] = geom.Point{X: p.X, Y: p.Y}
+		if !n.region.Contains(pts[i]) {
+			return fmt.Errorf("selfstab: position %d outside the region", i)
+		}
+	}
+	g := topology.FromPoints(pts, n.cfg.radioRng)
+	if err := n.engine.SetGraph(g); err != nil {
+		return err
+	}
+	n.pts = pts
+	n.g = g
+	return nil
+}
+
+// Neighbors returns the identifiers of node i's current radio neighbors.
+func (n *Network) Neighbors(i int) ([]int64, error) {
+	if i < 0 || i >= len(n.pts) {
+		return nil, fmt.Errorf("selfstab: node index %d out of range", i)
+	}
+	var out []int64
+	for _, v := range n.g.Neighbors(i) {
+		out = append(out, n.ids[v])
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// RenderSVG draws the current clustering as an SVG document of the given
+// pixel size (heads outlined, members colored by cluster).
+func (n *Network) RenderSVG(size int) (string, error) {
+	return viz.SVG(n.g, n.pts, n.renderAssignment(), size)
+}
+
+// RenderASCII draws the current clustering as a rows x cols character map
+// (uppercase letters are cluster-heads).
+func (n *Network) RenderASCII(rows, cols int) (string, error) {
+	return viz.ASCII(n.g, n.pts, n.renderAssignment(), rows, cols)
+}
+
+// renderAssignment sanitizes the live assignment for rendering: head
+// references that do not resolve (transient states) fall back to self so
+// the renderers always succeed.
+func (n *Network) renderAssignment() *cluster.Assignment {
+	a := n.engine.Assignment()
+	for u := range a.Head {
+		if a.Head[u] < 0 {
+			a.Head[u] = u
+		}
+		if a.Parent[u] < 0 {
+			a.Parent[u] = u
+		}
+	}
+	return a
+}

@@ -1,0 +1,71 @@
+package selfstab
+
+import (
+	"errors"
+	"fmt"
+
+	"selfstab/internal/routing"
+)
+
+// ErrUnreachable is returned by Route when no path exists between the two
+// nodes.
+var ErrUnreachable = errors.New("selfstab: destination unreachable")
+
+// Route computes a hierarchical route between two node identifiers over
+// the current clustering: within a cluster along intra-cluster shortest
+// paths, across clusters along the cluster overlay through gateway nodes.
+// This is the hierarchical routing the paper's clustering exists to
+// enable; each node's routing state is limited to its own cluster (plus
+// overlay summaries at the heads) instead of the whole network.
+//
+// The returned path lists node identifiers from src to dst inclusive.
+// Call after Stabilize: routes follow the current head assignment.
+func (n *Network) Route(srcID, dstID int64) ([]int64, error) {
+	src, ok := n.indexOfID(srcID)
+	if !ok {
+		return nil, fmt.Errorf("selfstab: unknown source id %d", srcID)
+	}
+	dst, ok := n.indexOfID(dstID)
+	if !ok {
+		return nil, fmt.Errorf("selfstab: unknown destination id %d", dstID)
+	}
+	table, err := routing.BuildHierarchical(n.g, n.renderAssignment())
+	if err != nil {
+		return nil, err
+	}
+	path, err := table.Route(src, dst)
+	if err != nil {
+		if errors.Is(err, routing.ErrUnreachable) {
+			return nil, ErrUnreachable
+		}
+		return nil, err
+	}
+	out := make([]int64, len(path))
+	for i, u := range path {
+		out[i] = n.ids[u]
+	}
+	return out, nil
+}
+
+// RoutingState reports the mean number of routing-table entries per node
+// for the two architectures on the current network: flat link-state
+// routing (every node knows every destination) versus hierarchical routing
+// over the current clusters. Their ratio is the scalability benefit the
+// paper's clustering buys.
+func (n *Network) RoutingState() (flat, hierarchical float64, err error) {
+	ft := routing.BuildFlat(n.g)
+	ht, err := routing.BuildHierarchical(n.g, n.renderAssignment())
+	if err != nil {
+		return 0, 0, err
+	}
+	return ft.StatePerNode(), ht.StatePerNode(), nil
+}
+
+func (n *Network) indexOfID(id int64) (int, bool) {
+	for i, v := range n.ids {
+		if v == id {
+			return i, true
+		}
+	}
+	return 0, false
+}

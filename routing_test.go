@@ -1,0 +1,107 @@
+package selfstab
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRouteSameCluster(t *testing.T) {
+	net, err := NewRandomNetwork(100, WithSeed(40), WithRange(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(500); err != nil {
+		t.Fatal(err)
+	}
+	clusters := net.Clusters()
+	var big Cluster
+	for _, c := range clusters {
+		if len(c.Members) > len(big.Members) {
+			big = c
+		}
+	}
+	if len(big.Members) < 2 {
+		t.Skip("no multi-member cluster")
+	}
+	path, err := net.Route(big.Members[0], big.Members[len(big.Members)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != big.Members[0] || path[len(path)-1] != big.Members[len(big.Members)-1] {
+		t.Errorf("path endpoints wrong: %v", path)
+	}
+	// Every hop is a radio neighbor of the previous one.
+	for i := 1; i < len(path); i++ {
+		prev, _ := net.indexOfID(path[i-1])
+		cur, _ := net.indexOfID(path[i])
+		if !net.g.HasEdge(prev, cur) {
+			t.Fatalf("path uses non-edge %d-%d", path[i-1], path[i])
+		}
+	}
+}
+
+func TestRouteAcrossClusters(t *testing.T) {
+	net, err := NewRandomNetwork(150, WithSeed(41), WithRange(0.13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(500); err != nil {
+		t.Fatal(err)
+	}
+	clusters := net.Clusters()
+	if len(clusters) < 2 {
+		t.Skip("single cluster network")
+	}
+	// Try head-to-head routes between several cluster pairs; connected
+	// pairs must route, disconnected ones must return ErrUnreachable.
+	routed := 0
+	for i := 0; i < len(clusters)-1 && routed < 3; i++ {
+		path, err := net.Route(clusters[i].HeadID, clusters[i+1].HeadID)
+		if errors.Is(err, ErrUnreachable) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) < 2 {
+			t.Errorf("cross-cluster path too short: %v", path)
+		}
+		routed++
+	}
+	if routed == 0 {
+		t.Skip("no connected cluster pairs sampled")
+	}
+}
+
+func TestRouteUnknownIDs(t *testing.T) {
+	net, err := NewRandomNetwork(20, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Route(99999, 0); err == nil {
+		t.Error("unknown src accepted")
+	}
+	if _, err := net.Route(0, 99999); err == nil {
+		t.Error("unknown dst accepted")
+	}
+}
+
+func TestRoutingStateAdvantage(t *testing.T) {
+	net, err := NewRandomNetwork(300, WithSeed(43), WithRange(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(1000); err != nil {
+		t.Fatal(err)
+	}
+	flat, hier, err := net.RoutingState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat != float64(net.N()-1) {
+		t.Errorf("flat state = %v, want %d", flat, net.N()-1)
+	}
+	if hier >= flat/2 {
+		t.Errorf("hierarchical state %v not substantially below flat %v", hier, flat)
+	}
+}

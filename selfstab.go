@@ -1,0 +1,417 @@
+// Package selfstab is a library reproduction of "Self-stabilization in
+// self-organized Multihop Wireless Networks" (Mitton, Fleury, Guérin
+// Lassous, Tixeuil — ICDCS 2005 / INRIA RR-5426): self-stabilizing,
+// density-driven clustering for multihop wireless networks.
+//
+// A Network simulates wireless nodes running the paper's protocol stack:
+// neighbor discovery by periodic local broadcast, the density metric
+// (links/nodes over the closed 1-neighborhood), cluster-head election by
+// the total order ≺ (density first, identifier tie-break), the
+// constant-height DAG color space that makes stabilization time
+// independent of network diameter, and the stability improvements of
+// Section 4.3 (incumbent-head stickiness and 2-hop cluster fusion).
+//
+// The protocol is self-stabilizing: start it in any state — or corrupt a
+// running network with InjectFaults — and it converges back to a
+// legitimate clustering. Time advances in the paper's Δ(τ) steps via Step
+// or Stabilize.
+//
+// Minimal use:
+//
+//	net, err := selfstab.NewPoissonNetwork(1000, selfstab.WithRange(0.1))
+//	if err != nil { ... }
+//	if _, err := net.Stabilize(1000); err != nil { ... }
+//	for _, c := range net.Clusters() {
+//		fmt.Println(c.HeadID, len(c.Members))
+//	}
+package selfstab
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/deploy"
+	"selfstab/internal/geom"
+	"selfstab/internal/radio"
+	"selfstab/internal/rng"
+	"selfstab/internal/runtime"
+	"selfstab/internal/topology"
+)
+
+// Point is a node position in the deployment region (the unit square by
+// default; 1 unit = 1 km at the paper's scale).
+type Point struct {
+	X, Y float64
+}
+
+// config collects the functional options.
+type config struct {
+	seed       int64
+	radioRng   float64
+	useDag     bool
+	gamma      int64 // 0 = auto (delta^2)
+	sticky     bool
+	fusion     bool
+	tau        float64
+	slots      int
+	cacheTTL   int
+	activation float64
+	rowMajor   bool
+	idsCustom  []int64
+}
+
+func defaults() config {
+	return config{
+		seed:       1,
+		radioRng:   0.1,
+		tau:        1,
+		activation: 1,
+	}
+}
+
+// Option customizes a Network at construction.
+type Option func(*config) error
+
+// WithSeed fixes the random seed; identical seeds reproduce identical
+// networks and protocol executions.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithRange sets the radio transmission range in region units (the paper
+// sweeps 0.05-0.1). Default 0.1.
+func WithRange(r float64) Option {
+	return func(c *config) error {
+		if r <= 0 || r > 1 {
+			return fmt.Errorf("selfstab: range must be in (0, 1], got %v", r)
+		}
+		c.radioRng = r
+		return nil
+	}
+}
+
+// WithDAG enables the constant-height DAG construction (Algorithm N1):
+// metric ties break on small locally-unique colors instead of global
+// identifiers, bounding stabilization time by a constant independent of
+// the network diameter. gamma is the color-space size; pass 0 to use the
+// paper's simulation choice delta².
+func WithDAG(gamma int64) Option {
+	return func(c *config) error {
+		if gamma < 0 {
+			return fmt.Errorf("selfstab: negative gamma %d", gamma)
+		}
+		c.useDag = true
+		c.gamma = gamma
+		return nil
+	}
+}
+
+// WithStickyHeads enables the Section 4.3 incumbency rule: on density
+// ties a standing cluster-head wins over a challenger.
+func WithStickyHeads() Option {
+	return func(c *config) error {
+		c.sticky = true
+		return nil
+	}
+}
+
+// WithFusion enables the Section 4.3 fusion rule: of two cluster-heads
+// within two hops the ≺-lesser dissolves its cluster into the greater's,
+// guaranteeing heads are at least three hops apart.
+func WithFusion() Option {
+	return func(c *config) error {
+		c.fusion = true
+		return nil
+	}
+}
+
+// WithTau sets the per-link frame delivery probability of the radio medium
+// (the paper's CSMA/CA abstraction). Default 1 (lossless).
+func WithTau(tau float64) Option {
+	return func(c *config) error {
+		if tau <= 0 || tau > 1 {
+			return fmt.Errorf("selfstab: tau must be in (0, 1], got %v", tau)
+		}
+		c.tau = tau
+		return nil
+	}
+}
+
+// WithSlottedRadio replaces the Bernoulli loss model with an explicit
+// slotted-CSMA medium of the given slot count: collisions — and hence τ —
+// become emergent instead of assumed.
+func WithSlottedRadio(slots int) Option {
+	return func(c *config) error {
+		if slots < 1 {
+			return fmt.Errorf("selfstab: need at least 1 slot, got %d", slots)
+		}
+		c.slots = slots
+		return nil
+	}
+}
+
+// WithDaemon sets the activation probability of the randomized daemon:
+// each step, each node evaluates its guarded assignments with probability
+// p (broadcast and reception always happen). 1 (default) is the
+// synchronous daemon; lower values model slower, unsynchronized nodes —
+// self-stabilization holds regardless.
+func WithDaemon(p float64) Option {
+	return func(c *config) error {
+		if p <= 0 || p > 1 {
+			return fmt.Errorf("selfstab: activation probability must be in (0, 1], got %v", p)
+		}
+		c.activation = p
+		return nil
+	}
+}
+
+// WithCacheTTL evicts neighbor-table entries not refreshed for ttl steps.
+// Needed under mobility and churn; 0 (default) never evicts.
+func WithCacheTTL(ttl int) Option {
+	return func(c *config) error {
+		if ttl < 0 {
+			return fmt.Errorf("selfstab: negative ttl %d", ttl)
+		}
+		c.cacheTTL = ttl
+		return nil
+	}
+}
+
+// WithRowMajorIDs assigns identifiers increasing left-to-right and
+// bottom-to-top — the paper's adversarial distribution for which
+// identifier tie-breaking degenerates (Table 5). Default is a random
+// permutation.
+func WithRowMajorIDs() Option {
+	return func(c *config) error {
+		c.rowMajor = true
+		return nil
+	}
+}
+
+// WithIDs supplies explicit unique node identifiers (overrides
+// WithRowMajorIDs). Length must match the node count.
+func WithIDs(ids []int64) Option {
+	return func(c *config) error {
+		c.idsCustom = append([]int64(nil), ids...)
+		return nil
+	}
+}
+
+// Network is a simulated multihop wireless network running the clustering
+// protocol stack.
+type Network struct {
+	cfg    config
+	region geom.Rect
+	pts    []geom.Point
+	ids    []int64
+	g      *topology.Graph
+	engine *runtime.Engine
+	src    *rng.Source
+}
+
+// NewNetwork deploys nodes at explicit positions in the unit square.
+func NewNetwork(positions []Point, opts ...Option) (*Network, error) {
+	if len(positions) == 0 {
+		return nil, errors.New("selfstab: no positions")
+	}
+	pts := make([]geom.Point, len(positions))
+	region := geom.UnitSquare()
+	for i, p := range positions {
+		pts[i] = geom.Point{X: p.X, Y: p.Y}
+		if !region.Contains(pts[i]) {
+			return nil, fmt.Errorf("selfstab: position %d (%v, %v) outside the unit square", i, p.X, p.Y)
+		}
+	}
+	return build(pts, opts)
+}
+
+// NewRandomNetwork deploys exactly n uniformly random nodes.
+func NewRandomNetwork(n int, opts ...Option) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("selfstab: need at least one node, got %d", n)
+	}
+	cfg, err := apply(opts)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.seed)
+	dep := deploy.Uniform(n, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy"))
+	return buildWith(cfg, dep.Points, src)
+}
+
+// NewPoissonNetwork deploys a Poisson point process of the given intensity
+// (expected nodes per unit area; the paper's evaluation uses 1000).
+func NewPoissonNetwork(intensity float64, opts ...Option) (*Network, error) {
+	if intensity <= 0 {
+		return nil, fmt.Errorf("selfstab: intensity must be positive, got %v", intensity)
+	}
+	cfg, err := apply(opts)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.seed)
+	dep := deploy.Poisson(intensity, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy"))
+	for dep.N() == 0 {
+		dep = deploy.Poisson(intensity, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy-retry"))
+	}
+	return buildWith(cfg, dep.Points, src)
+}
+
+// NewHotspotNetwork deploys n nodes concentrated around k random hotspots
+// (Gaussian spread as a fraction of the region extent) — the heterogeneous
+// "disaster area" scenario from the paper's introduction, where responders
+// cluster around incident sites and the density metric elects one head
+// per site rather than splitting co-located groups.
+func NewHotspotNetwork(n, k int, spread float64, opts ...Option) (*Network, error) {
+	cfg, err := apply(opts)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.seed)
+	dep, err := deploy.Hotspots(n, k, spread, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy"))
+	if err != nil {
+		return nil, err
+	}
+	return buildWith(cfg, dep.Points, src)
+}
+
+// NewGridNetwork deploys a rows x cols lattice (the paper's grid scenario;
+// combine with WithRowMajorIDs to reproduce the adversarial Table 5 case).
+func NewGridNetwork(rows, cols int, opts ...Option) (*Network, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("selfstab: invalid grid %dx%d", rows, cols)
+	}
+	cfg, err := apply(opts)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.seed)
+	dep := deploy.Grid(rows, cols, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy"))
+	return buildWith(cfg, dep.Points, src)
+}
+
+func apply(opts []Option) (config, error) {
+	cfg := defaults()
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+func build(pts []geom.Point, opts []Option) (*Network, error) {
+	cfg, err := apply(opts)
+	if err != nil {
+		return nil, err
+	}
+	return buildWith(cfg, pts, rng.New(cfg.seed))
+}
+
+func buildWith(cfg config, pts []geom.Point, src *rng.Source) (*Network, error) {
+	n := &Network{
+		cfg:    cfg,
+		region: geom.UnitSquare(),
+		pts:    append([]geom.Point(nil), pts...),
+		src:    src,
+	}
+	if err := n.assignIDs(); err != nil {
+		return nil, err
+	}
+	n.g = topology.FromPoints(n.pts, cfg.radioRng)
+
+	proto := runtime.Protocol{
+		Order:          cluster.OrderBasic,
+		Fusion:         cfg.fusion,
+		CacheTTL:       cfg.cacheTTL,
+		ActivationProb: cfg.activation,
+	}
+	if cfg.sticky {
+		proto.Order = cluster.OrderSticky
+	}
+	if cfg.useDag {
+		proto.UseDag = true
+		proto.Gamma = cfg.gamma
+		if proto.Gamma == 0 {
+			d := int64(n.g.MaxDegree())
+			proto.Gamma = d * d
+			if proto.Gamma <= d {
+				proto.Gamma = d + 1
+			}
+		}
+	}
+	medium, err := n.makeMedium()
+	if err != nil {
+		return nil, err
+	}
+	engine, err := runtime.New(n.g, n.ids, proto, medium, src.Split("engine"))
+	if err != nil {
+		return nil, err
+	}
+	n.engine = engine
+	return n, nil
+}
+
+func (n *Network) assignIDs() error {
+	count := len(n.pts)
+	switch {
+	case n.cfg.idsCustom != nil:
+		if len(n.cfg.idsCustom) != count {
+			return fmt.Errorf("selfstab: %d ids for %d nodes", len(n.cfg.idsCustom), count)
+		}
+		seen := make(map[int64]bool, count)
+		for _, id := range n.cfg.idsCustom {
+			if seen[id] {
+				return fmt.Errorf("selfstab: duplicate id %d", id)
+			}
+			seen[id] = true
+		}
+		n.ids = n.cfg.idsCustom
+	case n.cfg.rowMajor:
+		n.ids = rowMajorIDs(n.pts)
+	default:
+		perm := n.src.Split("ids").Perm(count)
+		n.ids = make([]int64, count)
+		for i, p := range perm {
+			n.ids[i] = int64(p)
+		}
+	}
+	return nil
+}
+
+// rowMajorIDs numbers nodes left-to-right, bottom-to-top (the adversarial
+// spatially-correlated assignment of Table 5).
+func rowMajorIDs(pts []geom.Point) []int64 {
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return pa.X < pb.X
+	})
+	ids := make([]int64, len(pts))
+	for rank, idx := range order {
+		ids[idx] = int64(rank)
+	}
+	return ids
+}
+
+func (n *Network) makeMedium() (radio.Medium, error) {
+	switch {
+	case n.cfg.slots > 0:
+		return radio.NewSlotted(n.cfg.slots, n.src.Split("radio"))
+	case n.cfg.tau < 1:
+		return radio.NewBernoulli(n.cfg.tau, n.src.Split("radio"))
+	default:
+		return radio.Perfect{}, nil
+	}
+}
