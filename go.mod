@@ -1,0 +1,3 @@
+module selfstab
+
+go 1.24.0

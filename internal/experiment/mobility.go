@@ -141,14 +141,27 @@ func recordTrace(band [2]float64, opts MobilityOptions, src *rng.Source) ([]samp
 	}
 	samples := int(opts.DurationSec / opts.SampleEverySec)
 	trace := make([]sample, 0, samples+1)
-	snap := func() {
-		g := topology.FromPoints(walker.Positions(), opts.Range)
+	// The grid index persists across samples: each mobility step only
+	// repairs the edges of nodes that moved instead of rebuilding the
+	// unit-disk graph. Samples retain a frozen Clone because Update
+	// mutates the index's graph in place.
+	idx := topology.NewGridIndexInRegion(walker.Positions(), opts.Range, geom.UnitSquare())
+	snap := func() error {
+		if _, err := idx.Update(walker.Positions()); err != nil {
+			return err
+		}
+		g := idx.Graph().Clone()
 		trace = append(trace, sample{g: g, values: metric.Density{}.Values(g)})
+		return nil
 	}
-	snap()
+	if err := snap(); err != nil {
+		return nil, nil, err
+	}
 	for s := 0; s < samples; s++ {
 		walker.Step(opts.SampleEverySec)
-		snap()
+		if err := snap(); err != nil {
+			return nil, nil, err
+		}
 	}
 	return trace, inst.ids, nil
 }

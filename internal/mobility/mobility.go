@@ -7,6 +7,12 @@
 //
 // The unit square maps to a 1 km x 1 km field, so a pedestrian speed of
 // 1.6 m/s is 0.0016 units/s; see MetersPerUnit.
+//
+// Models advance their position slices in place and Step allocates
+// nothing, which pairs with topology.GridIndex: feeding Positions() to
+// its incremental Update after each Step repairs the unit-disk graph for
+// exactly the nodes that moved instead of rebuilding it — the intended
+// hot loop for mobility experiments.
 package mobility
 
 import (

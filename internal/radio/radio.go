@@ -11,6 +11,12 @@
 //   - Slotted: an explicit slotted-CSMA model in which each node picks a
 //     random slot and a receiver loses every frame whose slot collides in
 //     its own neighborhood; τ becomes emergent instead of assumed.
+//
+// A medium never sees frame contents. It decides which (sender, receiver)
+// pairs deliver this step and records them in an Inbox — a CSR-style flat
+// structure of sender indices per receiver. The protocol layer keeps one
+// typed frame per sender and resolves the indices itself, so a step costs
+// no per-frame boxing or per-edge allocation.
 package radio
 
 import (
@@ -20,22 +26,95 @@ import (
 	"selfstab/internal/topology"
 )
 
-// Frame is one received broadcast: the sender's node index plus an opaque
-// payload supplied by the protocol layer.
-type Frame struct {
-	From    int
-	Payload any
+// Inbox is one step's delivery outcome in CSR form: the senders heard by
+// receiver r are Senders(r), ascending. All backing arrays are reused
+// across steps — after the first few steps a Deliver call allocates
+// nothing. An Inbox must only be read until the next Deliver into it.
+type Inbox struct {
+	off     []int32
+	senders []int32
+	cur     []int32 // scratch cursor for FromPairs
 }
 
-// Medium delivers one step of local broadcasts.
+// Reset prepares the inbox for n receivers whose rows will be appended in
+// receiver order via Append/FinishRow.
+func (in *Inbox) Reset(n int) {
+	if cap(in.off) < n+1 {
+		in.off = make([]int32, 1, n+1)
+	} else {
+		in.off = in.off[:1]
+	}
+	in.off[0] = 0
+	in.senders = in.senders[:0]
+}
+
+// Append records that the receiver whose row is currently open hears
+// sender s. Rows open implicitly: after Reset the row of receiver 0 is
+// open; FinishRow closes it and opens the next.
+func (in *Inbox) Append(s int) { in.senders = append(in.senders, int32(s)) }
+
+// FinishRow closes the current receiver's row.
+func (in *Inbox) FinishRow() { in.off = append(in.off, int32(len(in.senders))) }
+
+// FromPairs fills the inbox from parallel (receiver, sender) pair lists in
+// any order, using a stable counting sort by receiver. Media whose random
+// draws happen in sender-major order (Bernoulli) use this so the rng
+// stream stays identical to the historical sender-major broadcast loop.
+func (in *Inbox) FromPairs(n int, recv, send []int32) {
+	if cap(in.off) < n+1 {
+		in.off = make([]int32, n+1)
+	} else {
+		in.off = in.off[:n+1]
+	}
+	for i := range in.off {
+		in.off[i] = 0
+	}
+	for _, r := range recv {
+		in.off[r+1]++
+	}
+	for i := 1; i <= n; i++ {
+		in.off[i] += in.off[i-1]
+	}
+	if cap(in.cur) < n {
+		in.cur = make([]int32, n)
+	} else {
+		in.cur = in.cur[:n]
+	}
+	copy(in.cur, in.off[:n])
+	if cap(in.senders) < len(send) {
+		in.senders = make([]int32, len(send))
+	} else {
+		in.senders = in.senders[:len(send)]
+	}
+	for i, r := range recv {
+		in.senders[in.cur[r]] = send[i]
+		in.cur[r]++
+	}
+}
+
+// N returns the number of receiver rows.
+func (in *Inbox) N() int { return len(in.off) - 1 }
+
+// Senders returns the sender indices heard by receiver r this step,
+// ascending. The slice aliases the inbox; do not retain it across steps.
+func (in *Inbox) Senders(r int) []int32 { return in.senders[in.off[r]:in.off[r+1]] }
+
+// Total returns the number of delivered frames across all receivers.
+func (in *Inbox) Total() int { return len(in.senders) }
+
+// Medium decides one step of local broadcast outcomes.
 type Medium interface {
 	// Name identifies the medium in experiment output.
 	Name() string
-	// Broadcast takes the topology and one outgoing payload per node and
-	// returns, for each node, the frames it received this step. A nil
-	// payload means the node stays silent.
-	Broadcast(g *topology.Graph, out []any) ([][]Frame, error)
+	// Deliver computes which sender→receiver deliveries succeed this step
+	// and writes them into in (reusing its backing arrays). active[s]
+	// false means node s stays silent this step; a nil active slice means
+	// every node broadcasts. Deliver must be called from a single
+	// goroutine — it owns the medium's rng stream.
+	Deliver(g *topology.Graph, active []bool, in *Inbox) error
 }
+
+func sending(active []bool, s int) bool { return active == nil || active[s] }
 
 // Perfect is the lossless medium: every frame reaches every neighbor.
 type Perfect struct{}
@@ -45,21 +124,22 @@ var _ Medium = Perfect{}
 // Name implements Medium.
 func (Perfect) Name() string { return "perfect" }
 
-// Broadcast implements Medium.
-func (Perfect) Broadcast(g *topology.Graph, out []any) ([][]Frame, error) {
-	if len(out) != g.N() {
-		return nil, fmt.Errorf("radio: %d payloads for %d nodes", len(out), g.N())
+// Deliver implements Medium.
+func (Perfect) Deliver(g *topology.Graph, active []bool, in *Inbox) error {
+	n := g.N()
+	if active != nil && len(active) != n {
+		return fmt.Errorf("radio: %d active flags for %d nodes", len(active), n)
 	}
-	in := make([][]Frame, g.N())
-	for s, payload := range out {
-		if payload == nil {
-			continue
+	in.Reset(n)
+	for r := 0; r < n; r++ {
+		for _, s := range g.Neighbors(r) {
+			if sending(active, s) {
+				in.Append(s)
+			}
 		}
-		for _, r := range g.Neighbors(s) {
-			in[r] = append(in[r], Frame{From: s, Payload: payload})
-		}
+		in.FinishRow()
 	}
-	return in, nil
+	return nil
 }
 
 // Bernoulli delivers each (sender, receiver) pair independently with
@@ -69,6 +149,8 @@ func (Perfect) Broadcast(g *topology.Graph, out []any) ([][]Frame, error) {
 type Bernoulli struct {
 	Tau float64
 	Src *rng.Source
+
+	recv, send []int32 // scratch pair lists, reused across steps
 }
 
 var _ Medium = (*Bernoulli)(nil)
@@ -87,23 +169,28 @@ func NewBernoulli(tau float64, src *rng.Source) (*Bernoulli, error) {
 // Name implements Medium.
 func (m *Bernoulli) Name() string { return fmt.Sprintf("bernoulli(tau=%.2f)", m.Tau) }
 
-// Broadcast implements Medium.
-func (m *Bernoulli) Broadcast(g *topology.Graph, out []any) ([][]Frame, error) {
-	if len(out) != g.N() {
-		return nil, fmt.Errorf("radio: %d payloads for %d nodes", len(out), g.N())
+// Deliver implements Medium. Loss draws happen in sender-major order (one
+// per directed edge with an active sender), then the pairs are
+// counting-sorted into receiver rows.
+func (m *Bernoulli) Deliver(g *topology.Graph, active []bool, in *Inbox) error {
+	n := g.N()
+	if active != nil && len(active) != n {
+		return fmt.Errorf("radio: %d active flags for %d nodes", len(active), n)
 	}
-	in := make([][]Frame, g.N())
-	for s, payload := range out {
-		if payload == nil {
+	m.recv, m.send = m.recv[:0], m.send[:0]
+	for s := 0; s < n; s++ {
+		if !sending(active, s) {
 			continue
 		}
 		for _, r := range g.Neighbors(s) {
 			if m.Tau >= 1 || m.Src.Float64() < m.Tau {
-				in[r] = append(in[r], Frame{From: s, Payload: payload})
+				m.recv = append(m.recv, int32(r))
+				m.send = append(m.send, int32(s))
 			}
 		}
 	}
-	return in, nil
+	in.FromPairs(n, m.recv, m.send)
+	return nil
 }
 
 // Slotted is an explicit slotted-CSMA abstraction: each step has Slots
@@ -115,6 +202,8 @@ func (m *Bernoulli) Broadcast(g *topology.Graph, out []any) ([][]Frame, error) {
 type Slotted struct {
 	Slots int
 	Src   *rng.Source
+
+	slot []int // scratch, reused across steps
 }
 
 var _ Medium = (*Slotted)(nil)
@@ -133,36 +222,41 @@ func NewSlotted(slots int, src *rng.Source) (*Slotted, error) {
 // Name implements Medium.
 func (m *Slotted) Name() string { return fmt.Sprintf("slotted(%d)", m.Slots) }
 
-// Broadcast implements Medium.
-func (m *Slotted) Broadcast(g *topology.Graph, out []any) ([][]Frame, error) {
+// Deliver implements Medium.
+func (m *Slotted) Deliver(g *topology.Graph, active []bool, in *Inbox) error {
 	n := g.N()
-	if len(out) != n {
-		return nil, fmt.Errorf("radio: %d payloads for %d nodes", len(out), n)
+	if active != nil && len(active) != n {
+		return fmt.Errorf("radio: %d active flags for %d nodes", len(active), n)
 	}
-	slot := make([]int, n)
-	for s := range slot {
-		slot[s] = m.Src.Intn(m.Slots)
+	if cap(m.slot) < n {
+		m.slot = make([]int, n)
+	} else {
+		m.slot = m.slot[:n]
 	}
-	in := make([][]Frame, n)
+	for s := range m.slot {
+		m.slot[s] = m.Src.Intn(m.Slots)
+	}
+	in.Reset(n)
 	for r := 0; r < n; r++ {
 		for _, s := range g.Neighbors(r) {
-			if out[s] == nil {
+			if !sending(active, s) {
 				continue
 			}
-			if slot[s] == slot[r] && out[r] != nil {
+			if m.slot[s] == m.slot[r] && sending(active, r) {
 				continue // r was transmitting in that slot (half-duplex)
 			}
 			collided := false
 			for _, s2 := range g.Neighbors(r) {
-				if s2 != s && out[s2] != nil && slot[s2] == slot[s] {
+				if s2 != s && sending(active, s2) && m.slot[s2] == m.slot[s] {
 					collided = true
 					break
 				}
 			}
 			if !collided {
-				in[r] = append(in[r], Frame{From: s, Payload: out[s]})
+				in.Append(s)
 			}
 		}
+		in.FinishRow()
 	}
-	return in, nil
+	return nil
 }

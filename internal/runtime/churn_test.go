@@ -107,9 +107,11 @@ func TestAdversarialHeadHijack(t *testing.T) {
 	for _, n := range e.nodes {
 		n.headID = phantom
 		n.parent = phantom
-		for _, entry := range n.cache {
-			entry.frame.HeadID = phantom
+		for i := range n.cache {
+			n.cache[i].frame.HeadID = phantom
 		}
+		n.dirty = true // out-of-band mutation: re-arm the guards
+		n.frameDirty = true
 	}
 	if _, err := e.RunUntilStable(500, 5); err != nil {
 		t.Fatal(err)
@@ -136,9 +138,11 @@ func TestDensityInflationAttack(t *testing.T) {
 	legit := e.Snapshot()
 	for _, n := range e.nodes {
 		n.density = 1e9
-		for _, entry := range n.cache {
-			entry.frame.Density = 1e9
+		for i := range n.cache {
+			n.cache[i].frame.Density = 1e9
 		}
+		n.dirty = true // out-of-band mutation: re-arm the guards
+		n.frameDirty = true
 	}
 	if _, err := e.RunUntilStable(500, 5); err != nil {
 		t.Fatal(err)

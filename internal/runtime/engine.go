@@ -3,7 +3,9 @@ package runtime
 import (
 	"errors"
 	"fmt"
-	"sort"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
 
 	"selfstab/internal/cluster"
 	"selfstab/internal/radio"
@@ -55,15 +57,32 @@ func (p Protocol) validate(g *topology.Graph) error {
 
 // Engine drives a set of protocol nodes over a radio medium, one Δ(τ) step
 // at a time.
+//
+// The step path is engineered for throughput: outgoing frames, the CSR
+// delivery inbox and daemon activation draws live in per-engine scratch
+// buffers that are reused every step, so a steady-state Step performs O(1)
+// amortized allocations; the frame-assembly and ingest+guard phases run on
+// a GOMAXPROCS-sized worker pool. Results are bit-identical for a fixed
+// seed regardless of worker count: the medium and the daemon consume their
+// rng streams sequentially between the parallel phases, per-node draws
+// (DAG colors) come from per-node streams, and a node's guards read only
+// that node's own cache.
 type Engine struct {
-	g      *topology.Graph
-	ids    []int64
-	idx    map[int64]int
-	proto  Protocol
-	medium radio.Medium
-	nodes  []*Node
-	daemon *rng.Source
-	step   int
+	g       *topology.Graph
+	ids     []int64
+	idx     map[int64]int
+	proto   Protocol
+	medium  radio.Medium
+	nodes   []*Node
+	daemon  *rng.Source
+	step    int
+	workers int // 0 = GOMAXPROCS
+
+	// Reusable step scratch.
+	out         []Frame // one outgoing frame per sender
+	inbox       radio.Inbox
+	active      []bool // daemon pre-draws (only populated when 0 < p < 1)
+	stepChanged bool   // any shared variable changed during the last Step
 }
 
 // ErrNotStabilized is returned by RunUntilStable when the state kept
@@ -104,6 +123,8 @@ func New(g *topology.Graph, ids []int64, proto Protocol, medium radio.Medium, sr
 		medium: medium,
 		nodes:  make([]*Node, g.N()),
 		daemon: src.Split("daemon"),
+		out:    make([]Frame, g.N()),
+		active: make([]bool, g.N()),
 	}
 	for i := range e.nodes {
 		e.nodes[i] = newNode(ids[i], proto, src.SplitN("node", i))
@@ -133,39 +154,133 @@ func (e *Engine) SetGraph(g *topology.Graph) error {
 	return nil
 }
 
+// SetParallelism fixes the number of workers used for the per-node step
+// phases. 0 (the default) sizes the pool to GOMAXPROCS. Results are
+// identical for any value; the knob exists for benchmarking and for the
+// determinism tests.
+func (e *Engine) SetParallelism(workers int) {
+	if workers < 0 {
+		workers = 0
+	}
+	e.workers = workers
+}
+
+// parallelThreshold is the node count below which the per-node phases run
+// inline: goroutine fan-out costs more than it saves on tiny networks.
+const parallelThreshold = 128
+
+// forEachNode runs fn(i) for every node index, in parallel chunks when the
+// network is large enough, and reports whether any call returned true.
+// fn must only touch node i's private state (plus read-only shared data).
+func (e *Engine) forEachNode(fn func(i int) bool) bool {
+	n := len(e.nodes)
+	workers := e.workers
+	if workers == 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < parallelThreshold {
+		changed := false
+		for i := 0; i < n; i++ {
+			if fn(i) {
+				changed = true
+			}
+		}
+		return changed
+	}
+	var wg sync.WaitGroup
+	var changed atomic.Bool
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			c := false
+			for i := lo; i < hi; i++ {
+				if fn(i) {
+					c = true
+				}
+			}
+			if c {
+				changed.Store(true)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return changed.Load()
+}
+
 // Step executes one Δ(τ) step: every node broadcasts its frame, the medium
 // delivers, every node ingests and runs its guarded assignments (N1, R1,
 // R2) once, in that order.
 func (e *Engine) Step() error {
-	out := make([]any, len(e.nodes))
-	for i, n := range e.nodes {
-		f := n.makeFrame()
-		out[i] = &f
-	}
-	in, err := e.medium.Broadcast(e.g, out)
-	if err != nil {
+	// Phase 1 (parallel): assemble every node's outgoing frame into the
+	// engine's scratch. All frames must exist before delivery resolves
+	// sender indices against them. When neither the node's shared
+	// variables nor its cached summaries changed, the scratch copy from
+	// the previous step is still valid.
+	e.forEachNode(func(i int) bool {
+		if n := e.nodes[i]; n.frameDirty {
+			n.fillFrame(&e.out[i])
+			n.frameDirty = false
+		}
+		return false
+	})
+
+	// Phase 2 (sequential): the medium owns its rng stream, so delivery
+	// decisions are drawn on one goroutine regardless of worker count.
+	if err := e.medium.Deliver(e.g, nil, &e.inbox); err != nil {
 		return fmt.Errorf("step %d: %w", e.step, err)
 	}
-	for i, n := range e.nodes {
-		frames := make([]Frame, 0, len(in[i]))
-		for _, rf := range in[i] {
-			pf, ok := rf.Payload.(*Frame)
-			if !ok {
-				return fmt.Errorf("step %d: unexpected payload %T", e.step, rf.Payload)
-			}
-			frames = append(frames, *pf)
-		}
-		n.ingest(frames, e.proto.CacheTTL)
+	if e.inbox.N() != len(e.nodes) {
+		return fmt.Errorf("step %d: medium delivered %d rows for %d nodes", e.step, e.inbox.N(), len(e.nodes))
 	}
-	for _, n := range e.nodes {
-		if e.proto.ActivationProb > 0 && e.proto.ActivationProb < 1 &&
-			e.daemon.Float64() >= e.proto.ActivationProb {
-			continue // the daemon did not schedule this node this step
+
+	// Daemon pre-draw (sequential, node order): scheduling decisions come
+	// off the daemon stream exactly as in the sequential engine, so a
+	// fixed seed activates the same nodes for any parallelism.
+	var act []bool
+	if e.proto.ActivationProb > 0 && e.proto.ActivationProb < 1 {
+		act = e.active
+		for i := range act {
+			act[i] = e.daemon.Float64() < e.proto.ActivationProb
 		}
-		n.guardN1(e.proto)
-		n.guardR1()
-		n.guardR2(e.proto)
 	}
+
+	// Phase 3 (parallel): ingest + guards. Each node writes only its own
+	// cache and shared variables and reads only the immutable frame
+	// scratch, so the loop is embarrassingly parallel. Guards run only on
+	// dirty nodes: they are deterministic functions of the cache and the
+	// node's own shared variables, so unchanged inputs mean unchanged
+	// outputs and a stabilized network steps in O(delivered frames).
+	ttl := e.proto.CacheTTL
+	e.stepChanged = e.forEachNode(func(i int) bool {
+		n := e.nodes[i]
+		n.ingest(e.out, e.inbox.Senders(i), ttl)
+		if act != nil && !act[i] {
+			return false // the daemon did not schedule this node this step
+		}
+		if !n.dirty {
+			return false
+		}
+		n.dirty = false
+		changed := n.guardN1(e.proto)
+		changed = n.guardR1() || changed
+		changed = n.guardR2(e.proto) || changed
+		if changed {
+			// Own shared variables are guard inputs too, and they are
+			// broadcast next step.
+			n.dirty = true
+			n.frameDirty = true
+		}
+		return changed
+	})
 	e.step++
 	return nil
 }
@@ -184,21 +299,22 @@ func (e *Engine) Run(steps int) error {
 // density, head) of every node stay unchanged for window consecutive steps,
 // or until maxSteps have run. It returns the stabilization step: the last
 // step at which anything changed (0 if already stable).
+//
+// Stability is tracked by the guards themselves: every guarded assignment
+// reports whether it wrote a new value, so detecting quiescence costs no
+// per-step state snapshot or comparison.
 func (e *Engine) RunUntilStable(maxSteps, window int) (int, error) {
 	if window < 1 {
 		window = 1
 	}
-	prev := e.sharedState()
 	lastChange := 0
 	for s := 1; s <= maxSteps; s++ {
 		if err := e.Step(); err != nil {
 			return 0, err
 		}
-		cur := e.sharedState()
-		if !statesEqual(prev, cur) {
+		if e.stepChanged {
 			lastChange = s
 		}
-		prev = cur
 		if s-lastChange >= window {
 			return lastChange, nil
 		}
@@ -207,7 +323,8 @@ func (e *Engine) RunUntilStable(maxSteps, window int) (int, error) {
 }
 
 // sharedVars is the per-node shared variable tuple used for stability
-// detection.
+// detection in tests and debugging (the step path tracks changes in the
+// guards instead of snapshotting).
 type sharedVars struct {
 	tieID   int64
 	density float64
@@ -224,6 +341,9 @@ func (e *Engine) sharedState() []sharedVars {
 }
 
 func statesEqual(a, b []sharedVars) bool {
+	if len(a) != len(b) {
+		return false
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			return false
@@ -291,10 +411,9 @@ func (e *Engine) NeighborView(i int) ([]int64, error) {
 	}
 	n := e.nodes[i]
 	out := make([]int64, 0, len(n.cache))
-	for id := range n.cache {
-		out = append(out, id)
+	for j := range n.cache {
+		out = append(out, n.cache[j].frame.ID) // cache is id-sorted
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out, nil
 }
 
@@ -335,6 +454,8 @@ func (e *Engine) Corrupt(frac float64, kind CorruptionKind, src *rng.Source) {
 		if src.Float64() >= frac {
 			continue
 		}
+		n.dirty = true      // corrupted inputs must be re-evaluated...
+		n.frameDirty = true // ...and re-broadcast
 		if kind&CorruptState != 0 {
 			n.tieID = garbageID()
 			n.density = src.Float64() * 100
@@ -342,15 +463,10 @@ func (e *Engine) Corrupt(frac float64, kind CorruptionKind, src *rng.Source) {
 			n.parent = garbageID()
 		}
 		if kind&CorruptCache != 0 {
-			// Iterate in sorted key order so corruption consumes the rng
-			// stream deterministically (map order is randomized).
-			keys := make([]int64, 0, len(n.cache))
-			for id := range n.cache {
-				keys = append(keys, id)
-			}
-			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-			for _, id := range keys {
-				entry := n.cache[id]
+			// The cache is id-sorted, so iteration consumes the rng stream
+			// deterministically (ascending neighbor id).
+			for j := range n.cache {
+				entry := &n.cache[j]
 				entry.frame.TieID = garbageID()
 				entry.frame.Density = src.Float64() * 100
 				entry.frame.HeadID = garbageID()

@@ -83,13 +83,13 @@ func TestStepKnowledgeSchedule(t *testing.T) {
 	}
 	for u := 0; u < g.N(); u++ {
 		nbrs := g.Neighbors(u)
-		cacheKeys := e.Node(u).cache
-		if len(cacheKeys) != len(nbrs) {
+		cache := e.Node(u).cache
+		if len(cache) != len(nbrs) {
 			t.Fatalf("step 1: node %s knows %d neighbors, want %d",
-				paperex.Names[u], len(cacheKeys), len(nbrs))
+				paperex.Names[u], len(cache), len(nbrs))
 		}
 		for _, v := range nbrs {
-			if _, ok := cacheKeys[ids[v]]; !ok {
+			if !cache.has(ids[v]) {
 				t.Errorf("step 1: node %s missing neighbor %s", paperex.Names[u], paperex.Names[v])
 			}
 		}
@@ -480,12 +480,12 @@ func TestStickyHysteresis(t *testing.T) {
 		e.nodes[0].density, e.nodes[1].density = 1, 1
 		e.nodes[0].headID, e.nodes[0].parent = 9, 9
 		e.nodes[1].headID, e.nodes[1].parent = 9, 9
-		e.nodes[0].cache[2] = &cacheEntry{frame: Frame{
+		e.nodes[0].cache.put(cacheEntry{frame: Frame{
 			ID: 2, TieID: 2, Density: 1, HeadID: 9, Nbrs: []NbrSummary{{ID: 9, TieID: 9, Density: 1, HeadID: 9}},
-		}}
-		e.nodes[1].cache[9] = &cacheEntry{frame: Frame{
+		}})
+		e.nodes[1].cache.put(cacheEntry{frame: Frame{
 			ID: 9, TieID: 9, Density: 1, HeadID: 9, Nbrs: []NbrSummary{{ID: 2, TieID: 2, Density: 1, HeadID: 9}},
-		}}
+		}})
 		if _, err := e.RunUntilStable(100, 5); err != nil {
 			t.Fatal(err)
 		}

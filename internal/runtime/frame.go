@@ -23,7 +23,13 @@ type NbrSummary struct {
 }
 
 // Frame is one broadcast: the sender's shared variables plus a summary of
-// its current neighbor cache.
+// its current neighbor cache, Nbrs, sorted by neighbor identifier.
+//
+// Frames live in reusable arenas on the hot path: the engine keeps one
+// outgoing frame per sender and rewrites it in place between steps, and a
+// receiving node's cache reuses each entry's Nbrs backing array on
+// refresh. Holders must therefore treat a Frame obtained from the engine
+// as valid only within the current step, and copy Nbrs before retaining.
 type Frame struct {
 	ID      int64
 	TieID   int64

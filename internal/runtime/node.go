@@ -1,18 +1,77 @@
 package runtime
 
 import (
-	"sort"
+	"slices"
 
 	"selfstab/internal/cluster"
-	"selfstab/internal/metric"
 	"selfstab/internal/rng"
 )
 
 // cacheEntry is the cached copy of a neighbor's last heard frame, plus its
-// age in steps (for eviction under mobility and churn).
+// age in steps (for eviction under mobility and churn). The entry's Nbrs
+// backing array is reused when the same neighbor is heard again, so a
+// steady-state refresh allocates nothing.
 type cacheEntry struct {
 	frame Frame
 	age   int
+}
+
+// neighborCache is a node's neighbor table: one entry per cached neighbor,
+// kept sorted by neighbor identifier in a flat slice. The protocol's hot
+// loops (frame assembly, density counting, head election) iterate and
+// intersect neighbor sets every step, and a sorted slice turns those into
+// cache-friendly linear walks and merge scans instead of hash lookups —
+// the map-based cache spent almost half of every step hashing.
+type neighborCache []cacheEntry
+
+// find returns the index of id, or -1.
+func (c neighborCache) find(id int64) int {
+	lo, hi := 0, len(c)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c[mid].frame.ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c) && c[lo].frame.ID == id {
+		return lo
+	}
+	return -1
+}
+
+// has reports whether id is cached.
+func (c neighborCache) has(id int64) bool { return c.find(id) >= 0 }
+
+// upsert returns the entry for id, inserting a zero entry at the sorted
+// position when absent, and reports whether it inserted. The pointer is
+// valid only until the next mutation.
+func (c *neighborCache) upsert(id int64) (*cacheEntry, bool) {
+	s := *c
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].frame.ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo].frame.ID == id {
+		return &s[lo], false
+	}
+	s = append(s, cacheEntry{})
+	copy(s[lo+1:], s[lo:])
+	s[lo] = cacheEntry{frame: Frame{ID: id}}
+	*c = s
+	return &s[lo], true
+}
+
+// put installs a full entry (test fixture helper).
+func (c *neighborCache) put(e cacheEntry) {
+	slot, _ := c.upsert(e.frame.ID)
+	*slot = e
 }
 
 // Node is one protocol participant. Its exported-shape state is exactly the
@@ -25,20 +84,40 @@ type Node struct {
 	headID  int64
 	parent  int64 // F(p): last chosen parent (own id when head)
 
-	cache map[int64]*cacheEntry
+	cache neighborCache
 	src   *rng.Source
+
+	// dirty records that the node's guard inputs (cache contents or own
+	// shared variables) may have changed since the guards last ran. The
+	// guards are deterministic functions of those inputs, so a clean node
+	// can skip evaluation entirely — in a stabilized network a step then
+	// costs only delivery and cache-refresh comparisons.
+	//
+	// frameDirty records that the node's broadcast content (own shared
+	// variables or cached summaries) may have changed since the outgoing
+	// frame was last assembled. It is cleared when the frame scratch is
+	// refilled, while dirty is cleared when the guards run — the two
+	// must stay separate: a cache change that leaves every guard output
+	// unchanged still changes the relayed neighbor summaries.
+	//
+	// Anything that mutates node state outside ingest/guards (corruption,
+	// test fixtures) must set both.
+	dirty      bool
+	frameDirty bool
 }
 
 // newNode boots a node in the protocol's cold-start state: it claims
 // headship of itself and, with the DAG enabled, draws an initial color.
 func newNode(id int64, proto Protocol, src *rng.Source) *Node {
 	n := &Node{
-		id:     id,
-		tieID:  id,
-		headID: id,
-		parent: id,
-		cache:  make(map[int64]*cacheEntry, 8),
-		src:    src,
+		id:         id,
+		tieID:      id,
+		headID:     id,
+		parent:     id,
+		cache:      make(neighborCache, 0, 8),
+		src:        src,
+		dirty:      true,
+		frameDirty: true,
 	}
 	if proto.UseDag {
 		n.tieID = src.Int63() % proto.Gamma
@@ -64,16 +143,17 @@ func (n *Node) ParentID() int64 { return n.parent }
 // IsHead reports whether the node currently claims headship.
 func (n *Node) IsHead() bool { return n.headID == n.id }
 
-// makeFrame assembles the node's broadcast for this step.
-func (n *Node) makeFrame() Frame {
-	f := Frame{
-		ID:      n.id,
-		TieID:   n.tieID,
-		Density: n.density,
-		HeadID:  n.headID,
-		Nbrs:    make([]NbrSummary, 0, len(n.cache)),
-	}
-	for _, e := range n.cache {
+// fillFrame assembles the node's broadcast for this step into f, reusing
+// f's Nbrs backing array (engine-owned scratch). The cache is id-sorted,
+// so the summary list comes out deterministic without a sort.
+func (n *Node) fillFrame(f *Frame) {
+	f.ID = n.id
+	f.TieID = n.tieID
+	f.Density = n.density
+	f.HeadID = n.headID
+	f.Nbrs = f.Nbrs[:0]
+	for i := range n.cache {
+		e := &n.cache[i]
 		f.Nbrs = append(f.Nbrs, NbrSummary{
 			ID:      e.frame.ID,
 			TieID:   e.frame.TieID,
@@ -81,33 +161,51 @@ func (n *Node) makeFrame() Frame {
 			HeadID:  e.frame.HeadID,
 		})
 	}
-	// Deterministic frame layout (map iteration order is randomized).
-	sort.Slice(f.Nbrs, func(i, j int) bool { return f.Nbrs[i].ID < f.Nbrs[j].ID })
-	return f
 }
 
-// ingest ages the cache, installs newly heard frames, and evicts entries
-// not refreshed within ttl steps (ttl 0 disables eviction; appropriate for
-// static topologies).
-func (n *Node) ingest(frames []Frame, ttl int) {
-	for _, e := range n.cache {
-		e.age++
+// ingest ages the cache, installs the frames heard this step (frames[s]
+// for each sender index s), and evicts entries not refreshed within ttl
+// steps (ttl 0 disables eviction; appropriate for static topologies).
+// Cached state is a private deep copy: the broadcast frame is shared by
+// every receiver of the same transmission, and fault injection must be
+// able to corrupt one cache without corrupting all of them.
+func (n *Node) ingest(frames []Frame, senders []int32, ttl int) {
+	for i := range n.cache {
+		n.cache[i].age++
 	}
-	for _, f := range frames {
+	for _, s := range senders {
+		f := &frames[s]
 		if f.ID == n.id {
 			continue // own echo; cannot happen with honest media, but cheap to guard
 		}
-		// Deep-copy the summary list: the broadcast frame is shared between
-		// every receiver of the same transmission, and cached state must be
-		// private (fault injection corrupts one cache, not all of them).
-		f.Nbrs = append([]NbrSummary(nil), f.Nbrs...)
-		n.cache[f.ID] = &cacheEntry{frame: f}
+		e, added := n.cache.upsert(f.ID)
+		// Only an appearing neighbor or a content change re-arms the
+		// guards; the common steady-state refresh (identical frame) costs
+		// one comparison and no copy.
+		if added || e.frame.TieID != f.TieID || e.frame.Density != f.Density ||
+			e.frame.HeadID != f.HeadID || !slices.Equal(e.frame.Nbrs, f.Nbrs) {
+			nbrs := append(e.frame.Nbrs[:0], f.Nbrs...)
+			e.frame = Frame{ID: f.ID, TieID: f.TieID, Density: f.Density, HeadID: f.HeadID, Nbrs: nbrs}
+			n.dirty = true
+			n.frameDirty = true
+		}
+		e.age = 0
 	}
 	if ttl > 0 {
-		for id, e := range n.cache {
-			if e.age > ttl {
-				delete(n.cache, id)
+		kept := n.cache[:0]
+		for i := range n.cache {
+			if n.cache[i].age <= ttl {
+				kept = append(kept, n.cache[i])
 			}
+		}
+		if len(kept) != len(n.cache) {
+			// Zero the tail so evicted frames don't pin their Nbrs arrays.
+			for i := len(kept); i < len(n.cache); i++ {
+				n.cache[i] = cacheEntry{}
+			}
+			n.cache = kept
+			n.dirty = true
+			n.frameDirty = true
 		}
 	}
 }
@@ -117,14 +215,15 @@ func (n *Node) ingest(frames []Frame, ttl int) {
 // identifier redraws). The fresh color avoids every cached neighbor color;
 // if the cached occupancy leaves nothing free (transient, e.g. after
 // corruption with a tiny gamma), the node keeps its color and retries next
-// step rather than spinning.
-func (n *Node) guardN1(proto Protocol) {
+// step rather than spinning. Reports whether the shared color changed.
+func (n *Node) guardN1(proto Protocol) bool {
+	old := n.tieID
 	if !proto.UseDag {
 		// Without the DAG the tie identifier IS the application id; a
 		// corrupted value would silently reorder ≺ forever, so pinning it
 		// is the correction action here.
 		n.tieID = n.id
-		return
+		return n.tieID != old
 	}
 	// Self-stabilization: a corrupted color outside the name space is
 	// always illegitimate; normalize it first.
@@ -132,47 +231,91 @@ func (n *Node) guardN1(proto Protocol) {
 		n.tieID = n.src.Int63() % proto.Gamma
 	}
 	conflict := false
-	for _, e := range n.cache {
-		if e.frame.TieID == n.tieID && n.id < e.frame.ID {
+	for i := range n.cache {
+		if n.cache[i].frame.TieID == n.tieID && n.id < n.cache[i].frame.ID {
 			conflict = true
 			break
 		}
 	}
 	if !conflict {
-		return
+		return n.tieID != old
 	}
 	taken := make(map[int64]bool, len(n.cache))
-	for _, e := range n.cache {
-		taken[e.frame.TieID] = true
+	for i := range n.cache {
+		taken[n.cache[i].frame.TieID] = true
 	}
 	for attempt := 0; attempt < 64; attempt++ {
 		c := n.src.Int63() % proto.Gamma
 		if !taken[c] {
 			n.tieID = c
-			return
+			return true
 		}
 	}
+	// Redraw failed: keep the color but stay dirty so the retry happens
+	// next step. The out-of-range normalization above may still have
+	// changed the shared color, so report against the entry value.
+	n.dirty = true
+	return n.tieID != old
 }
 
 // guardR1 recomputes the shared density from cached neighbor lists
-// (Definition 1 evaluated on 2-hop knowledge).
-func (n *Node) guardR1() {
-	own := make([]int64, 0, len(n.cache))
-	lists := make(map[int64][]int64, len(n.cache))
-	for id, e := range n.cache {
-		own = append(own, id)
-		l := make([]int64, 0, len(e.frame.Nbrs))
-		for _, s := range e.frame.Nbrs {
-			l = append(l, s.ID)
-		}
-		lists[id] = l
+// (Definition 1 evaluated on 2-hop knowledge). The cache key set IS the
+// node's view of N(p), and both it and every advertised neighbor list are
+// id-sorted, so the membership test is a merge scan — no hashing, no
+// allocation. Reports whether the shared density changed.
+func (n *Node) guardR1() bool {
+	old := n.density
+	deg := len(n.cache)
+	if deg == 0 {
+		n.density = 0
+		return n.density != old
 	}
-	n.density = metric.DensityFromTables(n.id, own, lists)
+	links := deg // the |Np| edges p-q
+	// Count edges among neighbors once: v < w, both in N(p), adjacent
+	// according to v's advertised list.
+	for i := range n.cache {
+		v := n.cache[i].frame.ID
+		nbrs := n.cache[i].frame.Nbrs
+		// Advance j over the cache (sorted) in lockstep with the summary
+		// list, starting past v (only w > v counts). Honest frames carry
+		// id-sorted summaries, making this a merge scan; a corrupted
+		// cache can hold a scrambled list, and from the first
+		// out-of-order element on we fall back to binary search so the
+		// count stays exactly Definition 1 even on garbage.
+		j := i + 1
+		sorted := true
+		prev := int64(-1) << 62
+		for k := range nbrs {
+			w := nbrs[k].ID
+			if w < prev {
+				sorted = false
+			}
+			prev = w
+			if w <= v {
+				continue
+			}
+			if !sorted {
+				if n.cache.has(w) {
+					links++
+				}
+				continue
+			}
+			for j < deg && n.cache[j].frame.ID < w {
+				j++
+			}
+			if j < deg && n.cache[j].frame.ID == w {
+				links++
+			}
+		}
+	}
+	n.density = float64(links) / float64(deg)
+	return n.density != old
 }
 
 // guardR2 is the cluster-head selection rule, including the Section 4.3
-// fusion variant when enabled.
-func (n *Node) guardR2(proto Protocol) {
+// fusion variant when enabled. Reports whether head or parent changed.
+func (n *Node) guardR2(proto Protocol) bool {
+	oldHead, oldParent := n.headID, n.parent
 	myRank := cluster.Rank{Value: n.density, TieID: n.tieID, IsHead: n.IsHead(), AppID: n.id}
 
 	// Find the ≺-maximal cached neighbor.
@@ -180,13 +323,14 @@ func (n *Node) guardR2(proto Protocol) {
 	var bestRank cluster.Rank
 	var bestHead int64
 	dominated := false
-	for id, e := range n.cache {
+	for i := range n.cache {
+		e := &n.cache[i]
 		r := rankOf(e.frame)
 		if proto.Order.Less(myRank, r) {
 			dominated = true
 		}
 		if bestID < 0 || proto.Order.Less(bestRank, r) {
-			bestID, bestRank, bestHead = id, r, e.frame.HeadID
+			bestID, bestRank, bestHead = e.frame.ID, r, e.frame.HeadID
 		}
 	}
 
@@ -194,7 +338,7 @@ func (n *Node) guardR2(proto Protocol) {
 		// Join the ≺-maximal neighbor and adopt its head.
 		n.parent = bestID
 		n.headID = bestHead
-		return
+		return n.headID != oldHead || n.parent != oldParent
 	}
 
 	if proto.Fusion {
@@ -205,13 +349,15 @@ func (n *Node) guardR2(proto Protocol) {
 		var adoptRank cluster.Rank
 		adoptVia := int64(-1)
 		var adoptViaRank cluster.Rank
-		for via, e := range n.cache {
+		for i := range n.cache {
+			e := &n.cache[i]
+			via := e.frame.ID
 			viaRank := rankOf(e.frame)
 			for _, s := range e.frame.Nbrs {
 				if s.ID == n.id || s.HeadID != s.ID {
 					continue
 				}
-				if _, oneHop := n.cache[s.ID]; oneHop {
+				if n.cache.has(s.ID) {
 					continue // 1-hop claimants are covered by the ≺ scan
 				}
 				r := cluster.Rank{Value: s.Density, TieID: s.TieID, IsHead: true, AppID: s.ID}
@@ -234,13 +380,14 @@ func (n *Node) guardR2(proto Protocol) {
 		if adoptID >= 0 {
 			n.headID = adoptID
 			n.parent = adoptVia
-			return
+			return n.headID != oldHead || n.parent != oldParent
 		}
 	}
 
 	// Locally maximal (and unchallenged within two hops): claim headship.
 	n.headID = n.id
 	n.parent = n.id
+	return n.headID != oldHead || n.parent != oldParent
 }
 
 // rankOf extracts the comparison rank from a cached frame.

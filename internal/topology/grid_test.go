@@ -1,0 +1,184 @@
+package topology
+
+import (
+	"testing"
+
+	"selfstab/internal/geom"
+	"selfstab/internal/rng"
+)
+
+// graphsEqual compares full sorted adjacency.
+func graphsEqual(t *testing.T, got, want *Graph, ctx string) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("%s: %d nodes, want %d", ctx, got.N(), want.N())
+	}
+	for u := 0; u < want.N(); u++ {
+		g, w := got.Neighbors(u), want.Neighbors(u)
+		if len(g) != len(w) {
+			t.Fatalf("%s: node %d has %d neighbors, want %d (%v vs %v)", ctx, u, len(g), len(w), g, w)
+		}
+		for k := range w {
+			if g[k] != w[k] {
+				t.Fatalf("%s: node %d adjacency %v, want %v", ctx, u, g, w)
+			}
+		}
+	}
+}
+
+func randPoints(n int, src *rng.Source) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: src.Float64(), Y: src.Float64()}
+	}
+	return pts
+}
+
+// TestGridIndexMatchesFromPoints: construction parity on random instances.
+func TestGridIndexMatchesFromPoints(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		src := rng.New(seed)
+		pts := randPoints(200, src)
+		idx := NewGridIndex(pts, 0.12)
+		graphsEqual(t, idx.Graph(), FromPoints(pts, 0.12), "construction")
+	}
+}
+
+// TestGridIndexIncrementalMatchesRebuild is the property test for the
+// incremental maintenance: after arbitrary random moves — small jitters,
+// teleports across the region, points wandering outside the original
+// bounding box, and no-op updates — Update must produce exactly the
+// adjacency a fresh FromPoints rebuild produces.
+func TestGridIndexIncrementalMatchesRebuild(t *testing.T) {
+	const n = 150
+	const r = 0.15
+	for seed := int64(0); seed < 3; seed++ {
+		src := rng.New(100 + seed)
+		pts := randPoints(n, src)
+		idx := NewGridIndex(pts, r)
+		for iter := 0; iter < 25; iter++ {
+			// Move a random subset: 0 nodes (no-op), a few, or everyone.
+			frac := []float64{0, 0.05, 0.3, 1}[iter%4]
+			for i := range pts {
+				if src.Float64() >= frac {
+					continue
+				}
+				switch src.Intn(3) {
+				case 0: // jitter in place (cell rarely changes)
+					pts[i].X += (src.Float64() - 0.5) * 0.02
+					pts[i].Y += (src.Float64() - 0.5) * 0.02
+				case 1: // teleport across the region
+					pts[i] = geom.Point{X: src.Float64(), Y: src.Float64()}
+				case 2: // escape the original bounding box
+					pts[i] = geom.Point{X: src.Float64()*3 - 1, Y: src.Float64()*3 - 1}
+				}
+			}
+			got, err := idx.Update(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphsEqual(t, got, FromPoints(pts, r), "after update")
+		}
+	}
+}
+
+// TestGridIndexInRegionHotspotDispersal: anchoring on the region keeps
+// incremental updates exact (and the cells meaningful) when a clustered
+// deployment later spreads across the whole region.
+func TestGridIndexInRegionHotspotDispersal(t *testing.T) {
+	src := rng.New(42)
+	const r = 0.1
+	// Everyone starts inside a 0.05-wide hotspot.
+	pts := make([]geom.Point, 120)
+	for i := range pts {
+		pts[i] = geom.Point{X: 0.4 + src.Float64()*0.05, Y: 0.4 + src.Float64()*0.05}
+	}
+	idx := NewGridIndexInRegion(pts, r, geom.UnitSquare())
+	graphsEqual(t, idx.Graph(), FromPoints(pts, r), "hotspot construction")
+	// Disperse across the full unit square and keep moving.
+	for iter := 0; iter < 10; iter++ {
+		for i := range pts {
+			pts[i] = geom.Point{X: src.Float64(), Y: src.Float64()}
+		}
+		got, err := idx.Update(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, got, FromPoints(pts, r), "after dispersal")
+	}
+}
+
+// TestGridIndexUpdateValidation: a wrong-length position slice errors.
+func TestGridIndexUpdateValidation(t *testing.T) {
+	idx := NewGridIndex(randPoints(10, rng.New(1)), 0.1)
+	if _, err := idx.Update(make([]geom.Point, 9)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestGridIndexZeroRange: r <= 0 yields and maintains an edgeless graph.
+func TestGridIndexZeroRange(t *testing.T) {
+	src := rng.New(2)
+	pts := randPoints(20, src)
+	idx := NewGridIndex(pts, 0)
+	if idx.Graph().Edges() != 0 {
+		t.Fatal("zero range produced edges")
+	}
+	g, err := idx.Update(randPoints(20, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 0 {
+		t.Fatal("zero range update produced edges")
+	}
+}
+
+// TestGridIndexTinyRangeBoundsCells: a minuscule range over a wide spread
+// must not allocate an unbounded dense grid.
+func TestGridIndexTinyRangeBoundsCells(t *testing.T) {
+	src := rng.New(3)
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Point{X: src.Float64() * 1000, Y: src.Float64() * 1000}
+	}
+	idx := NewGridIndex(pts, 1e-6)
+	if got := len(idx.buckets); got > 4*len(pts)+64 {
+		t.Fatalf("dense grid has %d cells for %d points", got, len(pts))
+	}
+	graphsEqual(t, idx.Graph(), FromPoints(pts, 1e-6), "tiny range")
+}
+
+// BenchmarkGridIndexUpdateMobility measures the incremental maintenance
+// under a mobility-like workload: every node jitters a little each step.
+func BenchmarkGridIndexUpdateMobility(b *testing.B) {
+	src := rng.New(7)
+	pts := randPoints(1000, src)
+	idx := NewGridIndex(pts, 0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range pts {
+			pts[j].X += (src.Float64() - 0.5) * 0.004
+			pts[j].Y += (src.Float64() - 0.5) * 0.004
+		}
+		if _, err := idx.Update(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFromPointsMobility is the rebuild-from-scratch baseline for the
+// same workload.
+func BenchmarkFromPointsMobility(b *testing.B) {
+	src := rng.New(7)
+	pts := randPoints(1000, src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range pts {
+			pts[j].X += (src.Float64() - 0.5) * 0.004
+			pts[j].Y += (src.Float64() - 0.5) * 0.004
+		}
+		FromPoints(pts, 0.1)
+	}
+}

@@ -6,7 +6,6 @@ package topology
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"selfstab/internal/geom"
@@ -29,50 +28,15 @@ func New(n int) *Graph {
 // FromPoints builds the unit-disk graph over pts: nodes u != v are adjacent
 // iff their Euclidean distance is at most r. This is the paper's radio
 // model — communication is bidirectional by construction (q in Np iff
-// p in Nq). Construction uses a uniform grid spatial index so the paper's
-// lambda = 1000 deployments build in O(n) expected time.
+// p in Nq). Construction uses the dense uniform grid of GridIndex, so the
+// paper's lambda = 1000 deployments build in O(n) expected time; callers
+// that rebuild the topology every mobility step should keep the GridIndex
+// itself and use its incremental Update instead.
 func FromPoints(pts []geom.Point, r float64) *Graph {
-	g := New(len(pts))
 	if r <= 0 || len(pts) < 2 {
-		return g
+		return New(len(pts))
 	}
-	// Bucket points into cells of side r; neighbors can only be in the
-	// 3x3 cell block around a point's cell.
-	minX, minY := math.Inf(1), math.Inf(1)
-	for _, p := range pts {
-		minX = math.Min(minX, p.X)
-		minY = math.Min(minY, p.Y)
-	}
-	type cell struct{ cx, cy int }
-	buckets := make(map[cell][]int, len(pts))
-	cellOf := func(p geom.Point) cell {
-		return cell{int((p.X - minX) / r), int((p.Y - minY) / r)}
-	}
-	for i, p := range pts {
-		c := cellOf(p)
-		buckets[c] = append(buckets[c], i)
-	}
-	r2 := r * r
-	for i, p := range pts {
-		c := cellOf(p)
-		for dx := -1; dx <= 1; dx++ {
-			for dy := -1; dy <= 1; dy++ {
-				for _, j := range buckets[cell{c.cx + dx, c.cy + dy}] {
-					if j <= i {
-						continue
-					}
-					if p.Dist2(pts[j]) <= r2 {
-						g.adj[i] = append(g.adj[i], j)
-						g.adj[j] = append(g.adj[j], i)
-					}
-				}
-			}
-		}
-	}
-	for i := range g.adj {
-		sort.Ints(g.adj[i])
-	}
-	return g
+	return NewGridIndex(pts, r).Graph()
 }
 
 // N returns the number of nodes.

@@ -8,7 +8,6 @@ import (
 	"selfstab/internal/geom"
 	"selfstab/internal/metric"
 	"selfstab/internal/runtime"
-	"selfstab/internal/topology"
 	"selfstab/internal/viz"
 )
 
@@ -41,11 +40,12 @@ func (n *Network) Step() error { return n.engine.Step() }
 func (n *Network) Run(steps int) error { return n.engine.Run(steps) }
 
 // Stabilize steps the protocol until the shared state stops changing
-// (stable for a 5-step window) and returns the step index at which the
-// last change happened. It fails if maxSteps is exhausted first — with a
-// lossy medium allow a generous budget.
+// (stable for the configured window, default 5 steps — see
+// WithStableWindow) and returns the step index at which the last change
+// happened. It fails if maxSteps is exhausted first — with a lossy medium
+// allow a generous budget.
 func (n *Network) Stabilize(maxSteps int) (int, error) {
-	return n.engine.RunUntilStable(maxSteps, 5)
+	return n.engine.RunUntilStable(maxSteps, n.cfg.stableWindow)
 }
 
 // InjectFaults corrupts each node's protocol state and neighbor caches
@@ -182,8 +182,12 @@ func (n *Network) Verify() error {
 	return nil
 }
 
-// SetPositions moves the nodes (mobility) and rebuilds the radio topology.
-// Combine with WithCacheTTL so stale neighbors age out of caches.
+// SetPositions moves the nodes (mobility) and repairs the radio topology
+// incrementally: the unit-disk grid index persists across calls and only
+// nodes that actually moved have their edges recomputed, so a mobility
+// step costs work proportional to the motion, not to the network size.
+// The Network's graph is updated in place. Combine with WithCacheTTL so
+// stale neighbors age out of caches.
 func (n *Network) SetPositions(positions []Point) error {
 	if len(positions) != len(n.pts) {
 		return fmt.Errorf("selfstab: %d positions for %d nodes", len(positions), len(n.pts))
@@ -195,7 +199,10 @@ func (n *Network) SetPositions(positions []Point) error {
 			return fmt.Errorf("selfstab: position %d outside the region", i)
 		}
 	}
-	g := topology.FromPoints(pts, n.cfg.radioRng)
+	g, err := n.grid.Update(pts)
+	if err != nil {
+		return err
+	}
 	if err := n.engine.SetGraph(g); err != nil {
 		return err
 	}

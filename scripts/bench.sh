@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — the repo's performance trajectory harness.
+#
+# Runs go vet and the race-instrumented engine determinism tests (the
+# safety net for the parallel step engine), then benchmarks the core
+# packages with -benchmem and records every sample in BENCH_step.json so
+# successive runs can be compared (benchstat on the raw text, or any tool
+# on the JSON).
+#
+# Usage: scripts/bench.sh [count]
+#   count  benchmark repetitions per benchmark (default 5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-5}"
+PKGS=(./internal/runtime ./internal/topology ./internal/cluster)
+RAW="BENCH_step.txt"
+JSON="BENCH_step.json"
+
+echo "== go vet" >&2
+go vet ./...
+
+echo "== race-instrumented determinism tests" >&2
+go test -race -run 'TestParallelDeterminism|TestParallelMatchesSequentialStabilization' ./internal/runtime
+
+echo "== benchmarks (count=$COUNT)" >&2
+go test -run '^$' -bench . -benchmem -count "$COUNT" "${PKGS[@]}" | tee "$RAW"
+
+# Convert the benchmark lines into a JSON array. Lines look like:
+#   BenchmarkStep1000   232   4536778 ns/op   64 B/op   2 allocs/op
+# (memory columns are absent for benchmarks without -benchmem metrics).
+awk '
+BEGIN { print "["; first = 1 }
+/^pkg: / { pkg = $2 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s", pkg, name, iters
+    if (ns != "")     printf ", \"ns_per_op\": %s", ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$RAW" > "$JSON"
+
+echo "== wrote $RAW and $JSON" >&2

@@ -24,6 +24,51 @@
 //	for _, c := range net.Clusters() {
 //		fmt.Println(c.HeadID, len(c.Members))
 //	}
+//
+// # Performance
+//
+// The simulation hot path is engineered so that per-step cost tracks the
+// amount of protocol activity, not the network size times allocator
+// pressure:
+//
+//   - Typed flat delivery. The radio layer never boxes frames: a medium
+//     only decides which (sender, receiver) pairs deliver and records
+//     them in a CSR-style flat inbox (one offsets array, one sender-index
+//     array, both reused every step). The engine keeps exactly one typed
+//     outgoing frame per node in a reusable arena, so a steady-state step
+//     performs O(1) amortized allocations instead of O(edges).
+//   - Per-node neighbor caches are flat, id-sorted entry slices. Frame
+//     assembly walks them in order (no sort, no hashing), the density
+//     rule (R1) counts 2-hop links with merge scans over the sorted
+//     lists, and a cache refresh that does not change any advertised
+//     value is a single comparison with no copy.
+//   - Guard skipping via dirty tracking. The guarded assignments N1, R1
+//     and R2 are deterministic functions of a node's cache and its own
+//     shared variables. Each node tracks whether those inputs changed;
+//     clean nodes skip guard evaluation entirely, so a stabilized
+//     network steps in time proportional to delivered frames. The same
+//     tracking lets Stabilize detect quiescence without snapshotting
+//     state each step.
+//   - Parallel phases. Frame assembly and ingest+guards are per-node
+//     independent and run on a GOMAXPROCS-sized worker pool. Randomness
+//     that must stay ordered (medium losses, daemon scheduling) is drawn
+//     sequentially between the parallel phases, and per-node draws (DAG
+//     colors) come from per-node streams, so results are bit-identical
+//     for a fixed seed at any parallelism — the determinism test in
+//     internal/runtime pins this.
+//   - Incremental topology under mobility. SetPositions keeps a dense
+//     uniform grid index (topology.GridIndex) alive across calls and
+//     recomputes only moved nodes' cells and edges rather than
+//     rebuilding the unit-disk graph, allocation-free at steady state.
+//
+// The benchmark suite quantifies all of this: BenchmarkStep1000 (steady
+// protocol step at paper scale) is the headline throughput number and
+// should stay allocation-flat (single-digit allocs/op); BenchmarkColdStabilize
+// and BenchmarkRecovery measure convergence phases where guards actually
+// run; the experiment-level benchmarks in bench_test.go regenerate the
+// paper's tables. scripts/bench.sh runs the core suites and emits
+// BENCH_step.json for the performance trajectory; compare runs with
+// benchstat before accepting a regression.
 package selfstab
 
 import (
@@ -48,26 +93,28 @@ type Point struct {
 
 // config collects the functional options.
 type config struct {
-	seed       int64
-	radioRng   float64
-	useDag     bool
-	gamma      int64 // 0 = auto (delta^2)
-	sticky     bool
-	fusion     bool
-	tau        float64
-	slots      int
-	cacheTTL   int
-	activation float64
-	rowMajor   bool
-	idsCustom  []int64
+	seed         int64
+	radioRng     float64
+	useDag       bool
+	gamma        int64 // 0 = auto (delta^2)
+	sticky       bool
+	fusion       bool
+	tau          float64
+	slots        int
+	cacheTTL     int
+	activation   float64
+	rowMajor     bool
+	idsCustom    []int64
+	stableWindow int
 }
 
 func defaults() config {
 	return config{
-		seed:       1,
-		radioRng:   0.1,
-		tau:        1,
-		activation: 1,
+		seed:         1,
+		radioRng:     0.1,
+		tau:          1,
+		activation:   1,
+		stableWindow: 5,
 	}
 }
 
@@ -170,6 +217,21 @@ func WithDaemon(p float64) Option {
 	}
 }
 
+// WithStableWindow sets how many consecutive unchanged steps Stabilize
+// requires before declaring the network stable. The default is 5; lossy
+// media (low WithTau, few WithSlottedRadio slots) and sparse daemons can
+// produce accidental quiet stretches, so such experiments should raise
+// the window to avoid declaring stability on a lull.
+func WithStableWindow(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("selfstab: stable window must be >= 1, got %d", k)
+		}
+		c.stableWindow = k
+		return nil
+	}
+}
+
 // WithCacheTTL evicts neighbor-table entries not refreshed for ttl steps.
 // Needed under mobility and churn; 0 (default) never evicts.
 func WithCacheTTL(ttl int) Option {
@@ -210,6 +272,7 @@ type Network struct {
 	pts    []geom.Point
 	ids    []int64
 	g      *topology.Graph
+	grid   *topology.GridIndex // persistent unit-disk index for SetPositions
 	engine *runtime.Engine
 	src    *rng.Source
 }
@@ -323,7 +386,12 @@ func buildWith(cfg config, pts []geom.Point, src *rng.Source) (*Network, error) 
 	if err := n.assignIDs(); err != nil {
 		return nil, err
 	}
-	n.g = topology.FromPoints(n.pts, cfg.radioRng)
+	// The unit-disk index is anchored on the deployment region (not the
+	// initial point spread) and persists for the Network's lifetime, so
+	// SetPositions can repair the topology incrementally wherever the
+	// nodes later roam.
+	n.grid = topology.NewGridIndexInRegion(n.pts, cfg.radioRng, n.region)
+	n.g = n.grid.Graph()
 
 	proto := runtime.Protocol{
 		Order:          cluster.OrderBasic,

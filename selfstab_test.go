@@ -49,6 +49,8 @@ func TestOptionValidation(t *testing.T) {
 		WithSlottedRadio(0),
 		WithCacheTTL(-1),
 		WithDAG(-1),
+		WithStableWindow(0),
+		WithStableWindow(-3),
 	}
 	for i, opt := range bad {
 		if _, err := NewNetwork(pts, opt); err == nil {
@@ -60,6 +62,31 @@ func TestOptionValidation(t *testing.T) {
 	}
 	if _, err := NewNetwork([]Point{{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0.2}}, WithIDs([]int64{7, 7})); err == nil {
 		t.Error("duplicate ids accepted")
+	}
+}
+
+// TestWithStableWindow: a wider window cannot report an earlier
+// stabilization step than a narrow one on the same instance, and both must
+// reach the same verified fixpoint.
+func TestWithStableWindow(t *testing.T) {
+	stabAt := func(window int) int {
+		net, err := NewRandomNetwork(80, WithSeed(9), WithRange(0.15), WithStableWindow(window))
+		if err != nil {
+			t.Fatal(err)
+		}
+		at, err := net.Stabilize(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	narrow := stabAt(1)
+	wide := stabAt(20)
+	if wide < narrow {
+		t.Errorf("window 20 reported stabilization at %d, before window 1's %d", wide, narrow)
 	}
 }
 
