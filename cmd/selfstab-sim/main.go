@@ -1,14 +1,21 @@
 // Command selfstab-sim regenerates the paper's evaluation tables and the
-// ablation studies from DESIGN.md.
+// ablation studies from DESIGN.md, and drives the packet-level traffic
+// subsystem.
 //
 // Usage:
 //
 //	selfstab-sim -exp table3 -runs 1000 -lambda 1000
 //	selfstab-sim -exp all -runs 30
+//	selfstab-sim traffic -nodes 1000 -steps 500 -flows 100 -scenario static
 //
 // Experiments: table1, table2, table3, table4, table5, mobility,
 // stabilization, gamma, metrics, orders, energy, daemons, scalability,
 // all.
+//
+// The traffic subcommand attaches a packet data plane (CBR / Poisson /
+// hotspot workloads) to a stabilized network, runs a static, mobility or
+// fault-recovery scenario, and reports delivery ratio, path stretch,
+// latency percentiles and per-node forwarding load.
 package main
 
 import (
@@ -32,6 +39,9 @@ func main() {
 type renderer interface{ Render() string }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "traffic" {
+		return runTraffic(args[1:], out)
+	}
 	fs := flag.NewFlagSet("selfstab-sim", flag.ContinueOnError)
 	var (
 		exp    = fs.String("exp", "all", "experiment: table1, table2, table3, table4, table5, mobility, stabilization, gamma, metrics, orders, energy, daemons, scalability, all")

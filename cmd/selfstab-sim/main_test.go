@@ -76,3 +76,45 @@ func TestRunInvalidOptions(t *testing.T) {
 		t.Error("zero runs accepted")
 	}
 }
+
+func TestRunTrafficStatic(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"traffic", "-nodes", "120", "-steps", "60", "-flows", "10", "-scenario", "static", "-budget", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"delivered", "head load share", "stretch", "latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("traffic output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTrafficScenariosAndWorkloads(t *testing.T) {
+	for _, args := range [][]string{
+		{"traffic", "-nodes", "100", "-steps", "40", "-flows", "8", "-scenario", "mobility"},
+		{"traffic", "-nodes", "100", "-steps", "40", "-flows", "8", "-scenario", "faults"},
+		{"traffic", "-nodes", "100", "-steps", "40", "-flows", "8", "-workload", "hotspot"},
+		{"traffic", "-nodes", "100", "-steps", "40", "-flows", "8", "-workload", "cbr"},
+		{"traffic", "-nodes", "100", "-steps", "40", "-flows", "8", "-workload", "poisson"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunTrafficBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"traffic", "-scenario", "nope", "-nodes", "50", "-steps", "5"}, &buf); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"traffic", "-workload", "nope", "-nodes", "50", "-steps", "5"}, &buf); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"traffic", "-steps", "abc"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+
+	"selfstab"
+)
+
+// runTraffic drives the packet-level traffic subsystem from the command
+// line: build a network, attach a workload, run a scenario, report the
+// delivery/latency/load ledger.
+func runTraffic(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("selfstab-sim traffic", flag.ContinueOnError)
+	var (
+		nodes    = fs.Int("nodes", 1000, "network size")
+		steps    = fs.Int("steps", 500, "traffic steps to run after stabilization")
+		flows    = fs.Int("flows", 100, "number of concurrent flows")
+		workload = fs.String("workload", "mixed", "workload: cbr, poisson, hotspot, mixed")
+		rate     = fs.Float64("rate", 0.2, "per-flow injection rate (packets per step)")
+		seed     = fs.Int64("seed", 1, "master random seed")
+		radioRng = fs.Float64("range", 0.1, "radio transmission range")
+		queue    = fs.Int("queue", 32, "per-node queue capacity")
+		budget   = fs.Int("budget", 1, "packets forwarded per node per step")
+		scenario = fs.String("scenario", "static", "scenario: static, mobility, faults")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := selfstab.NewRandomNetwork(*nodes,
+		selfstab.WithSeed(*seed),
+		selfstab.WithRange(*radioRng),
+		selfstab.WithCacheTTL(8),
+	)
+	if err != nil {
+		return err
+	}
+	if _, err := net.Stabilize(5000); err != nil {
+		return err
+	}
+	specs, err := buildWorkload(net, *workload, *flows, *rate, *seed)
+	if err != nil {
+		return err
+	}
+	if err := net.AttachTraffic(selfstab.TrafficConfig{
+		QueueCap: *queue,
+		Budget:   *budget,
+		Flows:    specs,
+	}); err != nil {
+		return err
+	}
+
+	switch strings.ToLower(*scenario) {
+	case "static":
+		if err := net.Run(*steps); err != nil {
+			return err
+		}
+	case "mobility":
+		if err := runMobilityScenario(net, *steps, *seed); err != nil {
+			return err
+		}
+	case "faults":
+		if err := net.Run(*steps / 2); err != nil {
+			return err
+		}
+		net.InjectFaults(0.5)
+		if err := net.Run(*steps - *steps/2); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+
+	s, err := net.TrafficStats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "traffic %s/%s: %d nodes, %d flows, %d steps\n",
+		*scenario, *workload, net.N(), len(specs), *steps)
+	renderTrafficStats(out, s)
+	return nil
+}
+
+// buildWorkload expands a named workload into flows over the network's
+// identifiers, deterministically from the seed.
+func buildWorkload(net *selfstab.Network, workload string, flows int, rate float64, seed int64) ([]selfstab.Flow, error) {
+	ids := net.IDs()
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("need at least 2 nodes for traffic")
+	}
+	r := rand.New(rand.NewSource(seed))
+	pair := func() (int64, int64) {
+		src := ids[r.Intn(len(ids))]
+		dst := ids[r.Intn(len(ids))]
+		for dst == src {
+			dst = ids[r.Intn(len(ids))]
+		}
+		return src, dst
+	}
+	var out []selfstab.Flow
+	switch strings.ToLower(workload) {
+	case "cbr":
+		for i := 0; i < flows; i++ {
+			src, dst := pair()
+			out = append(out, selfstab.CBRFlow(src, dst, rate))
+		}
+	case "poisson":
+		for i := 0; i < flows; i++ {
+			src, dst := pair()
+			out = append(out, selfstab.PoissonFlow(src, dst, rate))
+		}
+	case "hotspot":
+		sources := flows
+		if max := len(ids) - 1; sources > max {
+			sources = max
+		}
+		out = append(out, selfstab.HotspotFlow(ids[r.Intn(len(ids))], sources, rate))
+	case "mixed":
+		unicast := flows * 9 / 10
+		for i := 0; i < unicast; i++ {
+			src, dst := pair()
+			if i%2 == 0 {
+				out = append(out, selfstab.CBRFlow(src, dst, rate))
+			} else {
+				out = append(out, selfstab.PoissonFlow(src, dst, rate))
+			}
+		}
+		if hot := flows - unicast; hot > 0 {
+			out = append(out, selfstab.HotspotFlow(ids[r.Intn(len(ids))], hot, rate))
+		}
+	default:
+		return nil, fmt.Errorf("unknown workload %q", workload)
+	}
+	return out, nil
+}
+
+// runMobilityScenario moves every node on a random walk between bursts of
+// protocol+traffic steps, the cmd-line twin of the mobility experiments.
+func runMobilityScenario(net *selfstab.Network, steps int, seed int64) error {
+	const (
+		burst    = 10    // protocol steps between motion samples
+		stepSize = 0.004 // region units moved per sample
+	)
+	r := rand.New(rand.NewSource(seed + 1))
+	pos := net.Positions()
+	dir := make([]float64, len(pos))
+	for i := range dir {
+		dir[i] = r.Float64() * 2 * math.Pi
+	}
+	for done := 0; done < steps; {
+		n := burst
+		if rem := steps - done; n > rem {
+			n = rem
+		}
+		if err := net.Run(n); err != nil {
+			return err
+		}
+		done += n
+		for i := range pos {
+			if r.Float64() < 0.1 {
+				dir[i] = r.Float64() * 2 * math.Pi
+			}
+			pos[i].X = reflect01(pos[i].X + stepSize*math.Cos(dir[i]))
+			pos[i].Y = reflect01(pos[i].Y + stepSize*math.Sin(dir[i]))
+		}
+		if err := net.SetPositions(pos); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func reflect01(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	if v > 1 {
+		return 2 - v
+	}
+	return v
+}
+
+// renderTrafficStats prints the ledger as an aligned table.
+func renderTrafficStats(out io.Writer, s selfstab.TrafficStats) {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  offered\t%d\n", s.Offered)
+	fmt.Fprintf(w, "  delivered\t%d\t(ratio %.3f)\n", s.Delivered, s.DeliveryRatio)
+	fmt.Fprintf(w, "  in flight\t%d\n", s.InFlight)
+	fmt.Fprintf(w, "  drops\t%d\tqueue %d, no-route %d, ttl %d\n",
+		s.DropsQueue+s.DropsNoRoute+s.DropsTTL, s.DropsQueue, s.DropsNoRoute, s.DropsTTL)
+	fmt.Fprintf(w, "  hops (mean)\t%.2f\tstretch vs flat %.3f\n", s.MeanHops, s.MeanStretch)
+	fmt.Fprintf(w, "  latency steps\tp50 %d\tp90 %d, p99 %d, max %d\n",
+		s.LatencyP50, s.LatencyP90, s.LatencyP99, s.LatencyMax)
+	fmt.Fprintf(w, "  node load\tmean %.1f\tmax %d\n", s.MeanLoad, s.MaxLoad)
+	fmt.Fprintf(w, "  head load share\t%.1f%%\t(heads are %.1f%% of nodes)\n",
+		100*s.HeadLoadShare, 100*s.HeadFraction)
+	w.Flush()
+}

@@ -108,6 +108,12 @@ func (f *Flat) StatePerNode() float64 {
 type Hierarchical struct {
 	g    *topology.Graph
 	head []int
+	// comp labels connected components of the true topology: routing
+	// between different components fails with ErrUnreachable immediately,
+	// regardless of how scrambled a mid-convergence assignment is (a
+	// transient head choice must never turn "unreachable" into a loop
+	// error).
+	comp []int
 	// intra[u] maps same-cluster destinations to u's next hop.
 	intra []map[int]int
 	// overlayNext[h] maps a destination head to the next head on the
@@ -125,9 +131,11 @@ func BuildHierarchical(g *topology.Graph, a *cluster.Assignment) (*Hierarchical,
 	if len(a.Head) != n {
 		return nil, fmt.Errorf("routing: assignment for %d nodes, graph has %d", len(a.Head), n)
 	}
+	comp, _ := g.Components()
 	h := &Hierarchical{
 		g:           g,
 		head:        append([]int(nil), a.Head...),
+		comp:        comp,
 		intra:       make([]map[int]int, n),
 		overlayNext: make(map[int]map[int]int),
 		gateway:     make(map[int]map[int][2]int),
@@ -234,6 +242,9 @@ func (h *Hierarchical) Route(src, dst int) ([]int, error) {
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return nil, fmt.Errorf("routing: endpoints (%d, %d) out of range", src, dst)
 	}
+	if h.comp[src] != h.comp[dst] {
+		return nil, ErrUnreachable
+	}
 	if h.head[src] == h.head[dst] {
 		return h.intraRoute(src, dst)
 	}
@@ -267,6 +278,49 @@ func (h *Hierarchical) Route(src, dst int) ([]int, error) {
 		return nil, err
 	}
 	return append(path, leg[1:]...), nil
+}
+
+// NextHop returns the single next hop a packet at cur takes toward dst —
+// the per-packet primitive the traffic data plane forwards with. It is
+// allocation-free: a handful of map lookups against the prebuilt tables.
+// dst == cur returns cur. ErrUnreachable follows the same rules as Route:
+// always for cross-partition pairs, and whenever the hierarchy has no
+// entry (possible mid-convergence).
+func (h *Hierarchical) NextHop(cur, dst int) (int, error) {
+	n := h.g.N()
+	if cur < 0 || cur >= n || dst < 0 || dst >= n {
+		return -1, fmt.Errorf("routing: endpoints (%d, %d) out of range", cur, dst)
+	}
+	if cur == dst {
+		return cur, nil
+	}
+	if h.comp[cur] != h.comp[dst] {
+		return -1, ErrUnreachable
+	}
+	if h.head[cur] == h.head[dst] {
+		nxt, ok := h.intra[cur][dst]
+		if !ok {
+			return -1, ErrUnreachable
+		}
+		return nxt, nil
+	}
+	curHead := h.head[cur]
+	nextHead, ok := h.overlayNext[curHead][h.head[dst]]
+	if !ok {
+		return -1, ErrUnreachable
+	}
+	gw, ok := h.gateway[curHead][nextHead]
+	if !ok {
+		return -1, ErrUnreachable
+	}
+	if cur == gw[0] {
+		return gw[1], nil // cross the border edge
+	}
+	nxt, ok := h.intra[cur][gw[0]]
+	if !ok {
+		return -1, ErrUnreachable
+	}
+	return nxt, nil
 }
 
 // intraRoute walks the intra-cluster table.

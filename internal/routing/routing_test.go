@@ -237,3 +237,126 @@ func TestHierarchicalDisconnected(t *testing.T) {
 	}
 	validatePath(t, g, path, 0, 2)
 }
+
+// TestNextHopWalksMatchRoute: repeatedly taking NextHop must retrace the
+// exact path Route returns — the per-packet primitive and the path oracle
+// may never disagree.
+func TestNextHopWalksMatchRoute(t *testing.T) {
+	g, a := clusteredNetwork(t, 11, 150, 0.14)
+	h, err := BuildHierarchical(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < g.N(); src += 13 {
+		for dst := 0; dst < g.N(); dst += 17 {
+			path, err := h.Route(src, dst)
+			if errors.Is(err, ErrUnreachable) {
+				if _, err := h.NextHop(src, dst); !errors.Is(err, ErrUnreachable) {
+					t.Errorf("(%d,%d): Route unreachable but NextHop said %v", src, dst, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := src
+			for i := 1; i < len(path); i++ {
+				next, err := h.NextHop(cur, dst)
+				if err != nil {
+					t.Fatalf("(%d,%d) at %d: %v", src, dst, cur, err)
+				}
+				if next != path[i] {
+					t.Fatalf("(%d,%d): NextHop at %d gave %d, Route path has %d", src, dst, cur, next, path[i])
+				}
+				cur = next
+			}
+			if cur != dst {
+				t.Fatalf("(%d,%d): walk ended at %d", src, dst, cur)
+			}
+		}
+	}
+}
+
+// TestNextHopSelfAndValidation: dst == cur returns cur; out-of-range
+// endpoints error.
+func TestNextHopSelfAndValidation(t *testing.T) {
+	g, a := clusteredNetwork(t, 2, 40, 0.25)
+	h, err := BuildHierarchical(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next, err := h.NextHop(3, 3); err != nil || next != 3 {
+		t.Errorf("self next-hop = (%d, %v), want (3, nil)", next, err)
+	}
+	if _, err := h.NextHop(-1, 0); err == nil {
+		t.Error("negative cur accepted")
+	}
+	if _, err := h.NextHop(0, g.N()); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+}
+
+// TestCrossPartitionAlwaysUnreachable: even under an adversarial
+// assignment whose head pointers cross partition boundaries (a transient,
+// mid-convergence state), routing between components must fail with
+// ErrUnreachable — never a loop error or a bogus path.
+func TestCrossPartitionAlwaysUnreachable(t *testing.T) {
+	// Two separate triangles, but the assignment claims node 3's head is
+	// node 0 (in the other component) and groups everyone under it.
+	g := topology.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	adversarial := &cluster.Assignment{
+		Head:   []int{0, 0, 0, 0, 0, 0},
+		Parent: []int{0, 0, 0, 0, 3, 3},
+	}
+	h, err := BuildHierarchical(g, adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []int{0, 1, 2} {
+		for _, v := range []int{3, 4, 5} {
+			if _, err := h.Route(u, v); !errors.Is(err, ErrUnreachable) {
+				t.Errorf("Route(%d,%d) under adversarial assignment: %v, want ErrUnreachable", u, v, err)
+			}
+			if _, err := h.Route(v, u); !errors.Is(err, ErrUnreachable) {
+				t.Errorf("Route(%d,%d) under adversarial assignment: %v, want ErrUnreachable", v, u, err)
+			}
+			if _, err := h.NextHop(u, v); !errors.Is(err, ErrUnreachable) {
+				t.Errorf("NextHop(%d,%d) under adversarial assignment: %v, want ErrUnreachable", u, v, err)
+			}
+		}
+	}
+	// Same-component pairs sharing the (cross-partition) cluster id still
+	// route inside their own component.
+	path, err := h.Route(3, 5)
+	if err != nil {
+		t.Fatalf("same-component route under adversarial assignment: %v", err)
+	}
+	validatePath(t, g, path, 3, 5)
+}
+
+// TestSingleNodeGraph: routing on a one-node network is trivial but must
+// not panic or error.
+func TestSingleNodeGraph(t *testing.T) {
+	g := topology.New(1)
+	a := &cluster.Assignment{Head: []int{0}, Parent: []int{0}}
+	h, err := BuildHierarchical(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := h.Route(0, 0)
+	if err != nil || len(path) != 1 || path[0] != 0 {
+		t.Errorf("Route(0,0) = (%v, %v), want ([0], nil)", path, err)
+	}
+	f := BuildFlat(g)
+	if got := f.StatePerNode(); got != 0 {
+		t.Errorf("flat state per node = %v on a single node, want 0", got)
+	}
+	if got := h.StatePerNode(); got != 0 {
+		t.Errorf("hierarchical state per node = %v on a single node, want 0", got)
+	}
+}

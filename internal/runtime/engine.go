@@ -83,6 +83,17 @@ type Engine struct {
 	inbox       radio.Inbox
 	active      []bool // daemon pre-draws (only populated when 0 < p < 1)
 	stepChanged bool   // any shared variable changed during the last Step
+
+	// epoch increments whenever anything a derived structure (routing
+	// tables, cluster renderings) could depend on changes: a step that
+	// altered shared state, a topology swap, or fault injection. Callers
+	// cache derived state keyed by Epoch and rebuild only on a mismatch.
+	epoch uint64
+
+	// postStep, when set, runs at the end of every Step after the guards —
+	// the hook the traffic data plane uses to move packets inside the same
+	// Δ(τ) step loop.
+	postStep func(step int) error
 }
 
 // ErrNotStabilized is returned by RunUntilStable when the state kept
@@ -151,8 +162,23 @@ func (e *Engine) SetGraph(g *topology.Graph) error {
 		return fmt.Errorf("runtime: new graph has %d nodes, engine has %d", g.N(), len(e.nodes))
 	}
 	e.g = g
+	e.epoch++
 	return nil
 }
+
+// Epoch returns a counter that advances whenever the shared state or the
+// topology changed (a state-changing step, SetGraph, Corrupt). Derived
+// structures cached against an Epoch value are valid exactly while it is
+// unchanged.
+func (e *Engine) Epoch() uint64 { return e.epoch }
+
+// SetPostStep installs a hook that runs at the end of every Step, after the
+// guarded assignments (nil disables it). The hook receives the number of
+// completed steps. A hook error is propagated by Step, but only after the
+// protocol step itself has fully committed (guards applied, step counted,
+// epoch advanced) — retrying Step runs a new step, it does not replay the
+// failed one.
+func (e *Engine) SetPostStep(fn func(step int) error) { e.postStep = fn }
 
 // SetParallelism fixes the number of workers used for the per-node step
 // phases. 0 (the default) sizes the pool to GOMAXPROCS. Results are
@@ -281,7 +307,13 @@ func (e *Engine) Step() error {
 		}
 		return changed
 	})
+	if e.stepChanged {
+		e.epoch++
+	}
 	e.step++
+	if e.postStep != nil {
+		return e.postStep(e.step)
+	}
 	return nil
 }
 
@@ -449,6 +481,7 @@ const (
 // network). This is the "arbitrary initial state" of the self-stabilization
 // model.
 func (e *Engine) Corrupt(frac float64, kind CorruptionKind, src *rng.Source) {
+	e.epoch++
 	garbageID := func() int64 { return src.Int63()%2000 - 1000 }
 	for _, n := range e.nodes {
 		if src.Float64() >= frac {

@@ -1,0 +1,320 @@
+// Package traffic is the packet-level data plane that runs inside the
+// simulator's Δ(τ) step loop. The clustering exists so hierarchical
+// routing scales; this package makes that claim falsifiable end to end:
+// flow generators inject packets, a per-node forwarding engine moves them
+// one hop per step through bounded queues over whatever routing the caller
+// provides, and a metrics sink accounts for every packet — delivered,
+// dropped (queue overflow, no route, TTL) or still in flight.
+//
+// The engine is deterministic: all randomness (Poisson inter-arrivals,
+// endpoint sampling) is drawn from the caller's rng stream in flow order,
+// and forwarding is a sequential pass in node-index order with staged
+// arrivals, so a fixed seed reproduces the same packet trajectories
+// regardless of how many workers the protocol engine itself uses.
+//
+// The hot path is allocation-free at steady state: queues are fixed-size
+// rings, staged arrival buffers are reused every step, and the latency
+// histogram grows only to the maximum observed latency.
+package traffic
+
+import (
+	"fmt"
+
+	"selfstab/internal/rng"
+)
+
+// Discipline selects what a full queue does with new arrivals.
+type Discipline int
+
+const (
+	// DropTail rejects the arriving packet (the classic FIFO tail drop).
+	DropTail Discipline = iota
+	// DropHead evicts the oldest queued packet to admit the new one —
+	// fresher packets are worth more under congestion.
+	DropHead
+)
+
+// Hooks connects the data plane to the control plane it routes over. All
+// three are required.
+type Hooks struct {
+	// NextHop returns the neighbor a packet at cur takes toward dst, or
+	// false when the routing layer has no route. Called once per forwarded
+	// packet per hop; must not allocate on the happy path.
+	NextHop func(cur, dst int) (int, bool)
+	// Dist returns the flat shortest-path hop count between two nodes
+	// (-1 when disconnected) — the baseline for path stretch. Called only
+	// when TopoEpoch changes, so it may BFS.
+	Dist func(src, dst int) int
+	// TopoEpoch identifies the current topology version; cached flat
+	// distances are reused while it is unchanged.
+	TopoEpoch func() uint64
+}
+
+// Config parameterizes the data plane.
+type Config struct {
+	// QueueCap bounds each node's packet queue. Default 64.
+	QueueCap int
+	// Discipline is the overflow policy. Default DropTail.
+	Discipline Discipline
+	// Budget is how many packets one node forwards per step (the link
+	// capacity abstraction — one Δ(τ) step carries Budget transmissions
+	// per node). Default 1.
+	Budget int
+	// TTL drops packets that exceed this many hops (routing loops under a
+	// churning assignment must not circulate forever). Default 64.
+	TTL int
+	// Flows are the workloads injecting packets.
+	Flows []FlowSpec
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.Budget == 0 {
+		c.Budget = 1
+	}
+	if c.TTL == 0 {
+		c.TTL = 64
+	}
+}
+
+func (c *Config) validate(n int) error {
+	if c.QueueCap < 1 {
+		return fmt.Errorf("traffic: queue capacity %d < 1", c.QueueCap)
+	}
+	if c.Discipline != DropTail && c.Discipline != DropHead {
+		return fmt.Errorf("traffic: invalid discipline %d", int(c.Discipline))
+	}
+	if c.Budget < 1 {
+		return fmt.Errorf("traffic: per-node budget %d < 1", c.Budget)
+	}
+	if c.TTL < 1 {
+		return fmt.Errorf("traffic: ttl %d < 1", c.TTL)
+	}
+	if len(c.Flows) == 0 {
+		return fmt.Errorf("traffic: no flows")
+	}
+	for i := range c.Flows {
+		if err := c.Flows[i].validate(n); err != nil {
+			return fmt.Errorf("traffic: flow %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// packet is one in-flight datagram. Packets live in ring buffers and
+// staged-arrival slices, never on the heap individually.
+type packet struct {
+	flow int32 // index into Engine.flows
+	dst  int32
+	hops int32
+	born int32 // step index at injection
+}
+
+// ring is a fixed-capacity FIFO of packets.
+type ring struct {
+	buf   []packet
+	head  int
+	count int
+}
+
+func (r *ring) init(cap int) { r.buf = make([]packet, cap) }
+
+func (r *ring) full() bool { return r.count == len(r.buf) }
+
+func (r *ring) push(p packet) bool {
+	if r.full() {
+		return false
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = p
+	r.count++
+	return true
+}
+
+func (r *ring) pop() packet {
+	p := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return p
+}
+
+// Engine is the per-network data plane. It is not goroutine-safe; the
+// protocol engine invokes Step from its post-guard hook, on one goroutine.
+type Engine struct {
+	cfg   Config
+	hooks Hooks
+	src   *rng.Source
+	n     int
+
+	queues   []ring
+	arrivals [][]packet // staged one-hop moves, merged after the pass
+	flows    []flowState
+	load     []int64 // forwarding events per node (transmissions)
+
+	acc      acc
+	step     int // the protocol's absolute completed-step count
+	stepsRun int // how many steps this data plane itself has run
+}
+
+// New builds a data plane for n nodes. The rng source feeds all workload
+// randomness; pass a dedicated Split so traffic draws never perturb the
+// protocol's streams.
+func New(n int, cfg Config, hooks Hooks, src *rng.Source) (*Engine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("traffic: %d nodes", n)
+	}
+	if hooks.NextHop == nil || hooks.Dist == nil || hooks.TopoEpoch == nil {
+		return nil, fmt.Errorf("traffic: all hooks are required")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("traffic: nil rng source")
+	}
+	cfg.fillDefaults()
+	if err := cfg.validate(n); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		hooks:    hooks,
+		src:      src,
+		n:        n,
+		queues:   make([]ring, n),
+		arrivals: make([][]packet, n),
+		load:     make([]int64, n),
+		flows:    make([]flowState, len(cfg.Flows)),
+	}
+	for i := range e.queues {
+		e.queues[i].init(cfg.QueueCap)
+	}
+	for i := range e.flows {
+		e.flows[i] = flowState{spec: cfg.Flows[i], flatDist: -2}
+	}
+	return e, nil
+}
+
+// Step advances the data plane by one Δ(τ) step: flows inject, every node
+// forwards up to Budget queued packets one hop, staged arrivals merge into
+// the destination queues. step is the protocol's completed-step count.
+func (e *Engine) Step(step int) error {
+	e.step = step
+	e.stepsRun++
+
+	// Phase 1: injection, in flow order (all randomness drawn here, on one
+	// stream, so trajectories are worker-count independent).
+	for fi := range e.flows {
+		f := &e.flows[fi]
+		for range f.arrivalsThisStep(step, e.src) {
+			e.inject(fi, f)
+		}
+	}
+
+	// Phase 2: forwarding, in node-index order. Moves are staged so a
+	// packet advances exactly one hop per step no matter the node order.
+	for u := 0; u < e.n; u++ {
+		q := &e.queues[u]
+		for b := e.cfg.Budget; b > 0 && q.count > 0; b-- {
+			p := q.pop()
+			next, ok := e.hooks.NextHop(u, int(p.dst))
+			if !ok || next == u {
+				e.acc.dropsNoRoute++
+				e.flows[p.flow].dropped++
+				continue
+			}
+			p.hops++
+			if int(p.hops) > e.cfg.TTL {
+				e.acc.dropsTTL++
+				e.flows[p.flow].dropped++
+				continue
+			}
+			// Only actual transmissions count as forwarding load; packets
+			// dropped above never left the node.
+			e.load[u]++
+			if next == int(p.dst) {
+				e.deliver(p)
+				continue
+			}
+			e.arrivals[next] = append(e.arrivals[next], p)
+		}
+	}
+
+	// Phase 3: merge staged arrivals, in node-index order.
+	for v := 0; v < e.n; v++ {
+		staged := e.arrivals[v]
+		if len(staged) == 0 {
+			continue
+		}
+		q := &e.queues[v]
+		for _, p := range staged {
+			e.admit(q, p)
+		}
+		e.arrivals[v] = staged[:0]
+	}
+	return nil
+}
+
+// inject creates one packet on flow fi and enqueues it at the source.
+func (e *Engine) inject(fi int, f *flowState) {
+	e.acc.offered++
+	f.offered++
+	src, dst := f.spec.Src, f.spec.Dst
+	if src == dst {
+		// Degenerate self-flow: delivered instantly, zero hops.
+		p := packet{flow: int32(fi), dst: int32(dst), born: int32(e.step)}
+		e.deliver(p)
+		return
+	}
+	f.refreshFlatDist(e.hooks)
+	e.admit(&e.queues[src], packet{flow: int32(fi), dst: int32(dst), born: int32(e.step)})
+}
+
+// admit pushes p onto q, applying the overflow discipline. Exactly one
+// packet dies on overflow: the arrival under DropTail, the oldest queued
+// packet under DropHead (per-flow drop accounting follows the casualty).
+func (e *Engine) admit(q *ring, p packet) {
+	if q.push(p) {
+		return
+	}
+	e.acc.dropsQueue++
+	if e.cfg.Discipline == DropHead {
+		victim := q.pop()
+		q.push(p)
+		e.flows[victim.flow].dropped++
+		return
+	}
+	e.flows[p.flow].dropped++
+}
+
+// deliver finalizes a packet at its destination.
+func (e *Engine) deliver(p packet) {
+	f := &e.flows[p.flow]
+	e.acc.delivered++
+	f.delivered++
+	e.acc.hopTotal += int64(p.hops)
+	// Latency counts the steps the packet spent in the network, injection
+	// step included, so an uncongested h-hop path has latency exactly h
+	// and queueing shows up as the excess over MeanHops.
+	latency := 0
+	if p.hops > 0 {
+		latency = e.step - int(p.born) + 1
+	}
+	e.acc.observeLatency(latency)
+	if p.hops > 0 && f.flatDist > 0 {
+		e.acc.stretchSum += float64(p.hops) / float64(f.flatDist)
+		e.acc.stretchCount++
+	}
+}
+
+// InFlight returns how many packets are currently queued.
+func (e *Engine) InFlight() int64 {
+	total := int64(0)
+	for i := range e.queues {
+		total += int64(e.queues[i].count)
+	}
+	return total
+}
+
+// Load returns a copy of the per-node forwarding-event counts.
+func (e *Engine) Load() []int64 {
+	return append([]int64(nil), e.load...)
+}

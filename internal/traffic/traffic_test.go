@@ -1,0 +1,271 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+
+	"selfstab/internal/rng"
+)
+
+// lineHooks routes along the path 0-1-2-...-(n-1): next hop toward dst is
+// cur±1. Dist is the exact hop count, TopoEpoch never moves.
+func lineHooks() Hooks {
+	return Hooks{
+		NextHop: func(cur, dst int) (int, bool) {
+			if dst > cur {
+				return cur + 1, true
+			}
+			if dst < cur {
+				return cur - 1, true
+			}
+			return cur, true
+		},
+		Dist: func(src, dst int) int {
+			if d := dst - src; d < 0 {
+				return -d
+			} else {
+				return d
+			}
+		},
+		TopoEpoch: func() uint64 { return 0 },
+	}
+}
+
+func mustEngine(t *testing.T, n int, cfg Config, hooks Hooks, seed int64) *Engine {
+	t.Helper()
+	e, err := New(n, cfg, hooks, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func runSteps(t *testing.T, e *Engine, steps int) {
+	t.Helper()
+	for s := 1; s <= steps; s++ {
+		if err := e.Step(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// checkLedger asserts the accounting identity that every packet has
+// exactly one fate.
+func checkLedger(t *testing.T, s Stats) {
+	t.Helper()
+	if got := s.Delivered + s.DropsQueue + s.DropsNoRoute + s.DropsTTL + s.InFlight; got != s.Offered {
+		t.Fatalf("ledger broken: delivered %d + dropsQ %d + dropsNR %d + dropsTTL %d + inflight %d = %d, offered %d",
+			s.Delivered, s.DropsQueue, s.DropsNoRoute, s.DropsTTL, s.InFlight, got, s.Offered)
+	}
+}
+
+func TestCBRLineDelivery(t *testing.T) {
+	// One packet per step across a 5-node line: 4 hops, so after warmup a
+	// packet is delivered every step with latency 4.
+	cfg := Config{Flows: []FlowSpec{{Kind: CBR, Src: 0, Dst: 4, Rate: 1}}}
+	e := mustEngine(t, 5, cfg, lineHooks(), 1)
+	runSteps(t, e, 100)
+	s := e.Stats()
+	checkLedger(t, s)
+	if s.Offered != 100 {
+		t.Errorf("offered %d, want 100", s.Offered)
+	}
+	if s.Delivered < 90 {
+		t.Errorf("delivered %d, want >= 90 (pipeline depth 4)", s.Delivered)
+	}
+	if s.MeanHops != 4 {
+		t.Errorf("mean hops %v, want 4", s.MeanHops)
+	}
+	if s.MeanStretch != 1 {
+		t.Errorf("mean stretch %v, want 1 on the line", s.MeanStretch)
+	}
+	if s.LatencyP50 != 4 || s.LatencyMax != 4 {
+		t.Errorf("latency p50 %d max %d, want 4/4 on an uncongested line", s.LatencyP50, s.LatencyMax)
+	}
+	// Interior nodes forward everything; endpoints 0 forwards, 4 receives.
+	load := e.Load()
+	if load[4] != 0 {
+		t.Errorf("sink forwarded %d packets, want 0 (delivery on arrival)", load[4])
+	}
+	if load[1] == 0 || load[2] == 0 || load[3] == 0 {
+		t.Errorf("interior load %v, want all positive", load[1:4])
+	}
+}
+
+func TestFractionalCBRRate(t *testing.T) {
+	cfg := Config{Flows: []FlowSpec{{Kind: CBR, Src: 0, Dst: 1, Rate: 0.25}}}
+	e := mustEngine(t, 2, cfg, lineHooks(), 1)
+	runSteps(t, e, 400)
+	if s := e.Stats(); s.Offered != 100 {
+		t.Errorf("offered %d over 400 steps at rate 0.25, want exactly 100", s.Offered)
+	}
+}
+
+func TestPoissonRateAndDeterminism(t *testing.T) {
+	cfg := Config{Flows: []FlowSpec{{Kind: Poisson, Src: 0, Dst: 3, Rate: 2}}}
+	a := mustEngine(t, 4, cfg, lineHooks(), 7)
+	b := mustEngine(t, 4, cfg, lineHooks(), 7)
+	runSteps(t, a, 500)
+	runSteps(t, b, 500)
+	sa, sb := a.Stats(), b.Stats()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("same seed diverged: %+v vs %+v", sa, sb)
+	}
+	if sa.Offered < 800 || sa.Offered > 1200 {
+		t.Errorf("offered %d over 500 steps at mean 2/step, want ~1000", sa.Offered)
+	}
+	checkLedger(t, sa)
+}
+
+func TestQueueOverflowDropTail(t *testing.T) {
+	// Rate 5 into a capacity-2 queue draining 1/step: steady state drops
+	// 4 packets per step at the source queue, and every drop is counted.
+	cfg := Config{
+		QueueCap: 2,
+		Flows:    []FlowSpec{{Kind: CBR, Src: 0, Dst: 2, Rate: 5}},
+	}
+	e := mustEngine(t, 3, cfg, lineHooks(), 1)
+	runSteps(t, e, 50)
+	s := e.Stats()
+	checkLedger(t, s)
+	if s.DropsQueue == 0 {
+		t.Fatal("no queue drops under 5x overload of a 2-slot queue")
+	}
+	if s.Offered != 250 {
+		t.Errorf("offered %d, want 250", s.Offered)
+	}
+	// All drops are attributed to the single flow.
+	if got := s.Flows[0].Dropped; got != s.DropsQueue {
+		t.Errorf("flow dropped %d, engine counted %d", got, s.DropsQueue)
+	}
+}
+
+func TestQueueOverflowDropHead(t *testing.T) {
+	cfg := Config{
+		QueueCap:   2,
+		Discipline: DropHead,
+		Flows:      []FlowSpec{{Kind: CBR, Src: 0, Dst: 2, Rate: 5}},
+	}
+	e := mustEngine(t, 3, cfg, lineHooks(), 1)
+	runSteps(t, e, 50)
+	s := e.Stats()
+	checkLedger(t, s)
+	if s.DropsQueue == 0 {
+		t.Fatal("no queue drops under overload with DropHead")
+	}
+	if got := s.Flows[0].Dropped; got != s.DropsQueue {
+		t.Errorf("flow dropped %d, engine counted %d", got, s.DropsQueue)
+	}
+}
+
+func TestNoRouteDrops(t *testing.T) {
+	hooks := lineHooks()
+	hooks.NextHop = func(cur, dst int) (int, bool) { return -1, false }
+	hooks.Dist = func(src, dst int) int { return -1 }
+	cfg := Config{Flows: []FlowSpec{{Kind: CBR, Src: 0, Dst: 1, Rate: 1}}}
+	e := mustEngine(t, 2, cfg, hooks, 1)
+	runSteps(t, e, 10)
+	s := e.Stats()
+	checkLedger(t, s)
+	if s.DropsNoRoute == 0 || s.Delivered != 0 {
+		t.Errorf("want only no-route drops, got %+v", s)
+	}
+	if s.DeliveryRatio != 0 {
+		t.Errorf("delivery ratio %v, want 0", s.DeliveryRatio)
+	}
+}
+
+func TestTTLDrops(t *testing.T) {
+	// A two-node routing loop that never reaches dst 3.
+	hooks := lineHooks()
+	hooks.NextHop = func(cur, dst int) (int, bool) {
+		if cur == 0 {
+			return 1, true
+		}
+		return 0, true
+	}
+	cfg := Config{TTL: 5, Flows: []FlowSpec{{Kind: CBR, Src: 0, Dst: 3, Rate: 1}}}
+	e := mustEngine(t, 4, cfg, hooks, 1)
+	runSteps(t, e, 40)
+	s := e.Stats()
+	checkLedger(t, s)
+	if s.DropsTTL == 0 {
+		t.Fatal("routing loop produced no TTL drops")
+	}
+	if s.Delivered != 0 {
+		t.Errorf("loop delivered %d packets", s.Delivered)
+	}
+}
+
+func TestSelfFlowDeliversInstantly(t *testing.T) {
+	cfg := Config{Flows: []FlowSpec{{Kind: CBR, Src: 1, Dst: 1, Rate: 1}}}
+	e := mustEngine(t, 3, cfg, lineHooks(), 1)
+	runSteps(t, e, 10)
+	s := e.Stats()
+	checkLedger(t, s)
+	if s.Delivered != 10 || s.MeanHops != 0 || s.LatencyMax != 0 {
+		t.Errorf("self-flow: %+v", s)
+	}
+}
+
+func TestFlowWindow(t *testing.T) {
+	cfg := Config{Flows: []FlowSpec{{Kind: CBR, Src: 0, Dst: 1, Rate: 1, Start: 5, Stop: 8}}}
+	e := mustEngine(t, 2, cfg, lineHooks(), 1)
+	runSteps(t, e, 20)
+	if s := e.Stats(); s.Offered != 4 {
+		t.Errorf("offered %d, want 4 (steps 5-8 inclusive)", s.Offered)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	hooks := lineHooks()
+	src := rng.New(1)
+	bad := []Config{
+		{}, // no flows
+		{Flows: []FlowSpec{{Src: -1, Dst: 0, Rate: 1}}},                   // src range
+		{Flows: []FlowSpec{{Src: 0, Dst: 9, Rate: 1}}},                    // dst range
+		{Flows: []FlowSpec{{Src: 0, Dst: 1, Rate: 0}}},                    // rate
+		{Flows: []FlowSpec{{Src: 0, Dst: 1, Rate: 1, Start: 5, Stop: 2}}}, // window
+		{QueueCap: -1, Flows: []FlowSpec{{Src: 0, Dst: 1, Rate: 1}}},
+		{TTL: -3, Flows: []FlowSpec{{Src: 0, Dst: 1, Rate: 1}}},
+		{Budget: -2, Flows: []FlowSpec{{Src: 0, Dst: 1, Rate: 1}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(3, cfg, hooks, src); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(3, Config{Flows: []FlowSpec{{Src: 0, Dst: 1, Rate: 1}}}, Hooks{}, src); err == nil {
+		t.Error("missing hooks accepted")
+	}
+	if _, err := New(0, Config{}, hooks, src); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestBudgetControlsDrainRate(t *testing.T) {
+	// Two packets per step into budget-1 forwarding congests; budget 2
+	// keeps up.
+	mk := func(budget int) Stats {
+		cfg := Config{
+			Budget:   budget,
+			QueueCap: 4,
+			Flows:    []FlowSpec{{Kind: CBR, Src: 0, Dst: 2, Rate: 2}},
+		}
+		e := mustEngine(t, 3, cfg, lineHooks(), 1)
+		runSteps(t, e, 60)
+		return e.Stats()
+	}
+	s1, s2 := mk(1), mk(2)
+	checkLedger(t, s1)
+	checkLedger(t, s2)
+	if s1.DropsQueue == 0 {
+		t.Error("budget 1 under 2x load produced no queue drops")
+	}
+	if s2.DropsQueue != 0 {
+		t.Errorf("budget 2 dropped %d packets at matched load", s2.DropsQueue)
+	}
+	if s2.DeliveryRatio <= s1.DeliveryRatio {
+		t.Errorf("delivery ratio budget2 %v <= budget1 %v", s2.DeliveryRatio, s1.DeliveryRatio)
+	}
+}

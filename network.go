@@ -208,8 +208,15 @@ func (n *Network) SetPositions(positions []Point) error {
 	}
 	n.pts = pts
 	n.g = g
+	n.topoEpoch++ // flat-routing and stretch baselines are stale now
 	return nil
 }
+
+// SetParallelism fixes the worker count of the step engine's per-node
+// phases. 0 (the default) sizes the pool to GOMAXPROCS. Results — protocol
+// state and traffic statistics alike — are bit-identical for any value;
+// the knob exists for benchmarking and the determinism tests.
+func (n *Network) SetParallelism(workers int) { n.engine.SetParallelism(workers) }
 
 // Neighbors returns the identifiers of node i's current radio neighbors.
 func (n *Network) Neighbors(i int) ([]int64, error) {

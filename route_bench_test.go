@@ -1,0 +1,106 @@
+package selfstab
+
+import (
+	"testing"
+
+	"selfstab/internal/routing"
+)
+
+// benchStableNet builds and stabilizes a network once per benchmark.
+func benchStableNet(b *testing.B, nodes int) *Network {
+	b.Helper()
+	net, err := NewRandomNetwork(nodes, WithSeed(1), WithRange(0.1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.Stabilize(2000); err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// BenchmarkRouteCached measures a Route query against the epoch-cached
+// hierarchical table (the table is built once; every iteration is a pure
+// table walk). Compare with BenchmarkRouteRebuild — the ratio is the win
+// of the satellite caching work.
+func BenchmarkRouteCached(b *testing.B) {
+	net := benchStableNet(b, 500)
+	ids := net.IDs()
+	if _, err := net.Route(ids[0], ids[len(ids)-1]); err != nil && err != ErrUnreachable {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := ids[i%len(ids)]
+		dst := ids[(i*31+len(ids)/2)%len(ids)]
+		if _, err := net.Route(src, dst); err != nil && err != ErrUnreachable {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteRebuild is the seed behavior: BuildHierarchical from
+// scratch on every query.
+func BenchmarkRouteRebuild(b *testing.B) {
+	net := benchStableNet(b, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := routing.BuildHierarchical(net.g, net.renderAssignment())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := table.Route(0, net.N()-1); err != nil && err != routing.ErrUnreachable {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrafficStep1000 is the traffic-phase headline: one Δ(τ) step of
+// a stabilized 1000-node network carrying 100 concurrent flows. Steady-
+// state allocations must stay O(1) amortized — watch allocs/op.
+func BenchmarkTrafficStep1000(b *testing.B) {
+	net := benchStableNet(b, 1000)
+	if err := net.AttachTraffic(TrafficConfig{
+		QueueCap: 32,
+		Flows:    benchFlows(net, 100),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	// Warm up: fill pipelines and grow scratch buffers to steady state.
+	if err := net.Run(50); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s, err := net.TrafficStats()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(s.DeliveryRatio, "deliveryRatio")
+}
+
+// benchFlows builds a deterministic 100-flow mix: 90 unicast pairs plus a
+// 10-source hotspot.
+func benchFlows(net *Network, flows int) []Flow {
+	ids := net.IDs()
+	out := make([]Flow, 0, flows)
+	for i := 0; i < flows-10; i++ {
+		src := ids[(i*17)%len(ids)]
+		dst := ids[(i*41+len(ids)/3)%len(ids)]
+		if i%2 == 0 {
+			out = append(out, CBRFlow(src, dst, 0.2))
+		} else {
+			out = append(out, PoissonFlow(src, dst, 0.2))
+		}
+	}
+	out = append(out, HotspotFlow(ids[1], 10, 0.2))
+	return out
+}

@@ -8,7 +8,10 @@ import (
 )
 
 // ErrUnreachable is returned by Route when no path exists between the two
-// nodes.
+// nodes. It is returned consistently for cross-partition pairs: a pair in
+// different connected components always fails with ErrUnreachable, never
+// with a table-walk error, regardless of how scrambled a mid-convergence
+// cluster assignment is.
 var ErrUnreachable = errors.New("selfstab: destination unreachable")
 
 // Route computes a hierarchical route between two node identifiers over
@@ -17,6 +20,11 @@ var ErrUnreachable = errors.New("selfstab: destination unreachable")
 // This is the hierarchical routing the paper's clustering exists to
 // enable; each node's routing state is limited to its own cluster (plus
 // overlay summaries at the heads) instead of the whole network.
+//
+// The routing table is cached on the Network and rebuilt only when the
+// cluster assignment or topology actually changed (epoch-based
+// invalidation), so repeated queries on a quiescent network cost a table
+// walk, not a rebuild.
 //
 // The returned path lists node identifiers from src to dst inclusive.
 // Call after Stabilize: routes follow the current head assignment.
@@ -29,7 +37,7 @@ func (n *Network) Route(srcID, dstID int64) ([]int64, error) {
 	if !ok {
 		return nil, fmt.Errorf("selfstab: unknown destination id %d", dstID)
 	}
-	table, err := routing.BuildHierarchical(n.g, n.renderAssignment())
+	table, err := n.hierTable()
 	if err != nil {
 		return nil, err
 	}
@@ -51,21 +59,43 @@ func (n *Network) Route(srcID, dstID int64) ([]int64, error) {
 // for the two architectures on the current network: flat link-state
 // routing (every node knows every destination) versus hierarchical routing
 // over the current clusters. Their ratio is the scalability benefit the
-// paper's clustering buys.
+// paper's clustering buys. Both tables are served from the epoch-keyed
+// cache shared with Route and the traffic data plane.
 func (n *Network) RoutingState() (flat, hierarchical float64, err error) {
-	ft := routing.BuildFlat(n.g)
-	ht, err := routing.BuildHierarchical(n.g, n.renderAssignment())
+	ht, err := n.hierTable()
 	if err != nil {
 		return 0, 0, err
 	}
-	return ft.StatePerNode(), ht.StatePerNode(), nil
+	return n.flatTable().StatePerNode(), ht.StatePerNode(), nil
+}
+
+// hierTable returns the cached hierarchical routing table, rebuilding it
+// when the engine epoch moved (state-changing step, topology swap, fault
+// injection) since the last build.
+func (n *Network) hierTable() (*routing.Hierarchical, error) {
+	ep := n.engine.Epoch()
+	if n.routeTab == nil || n.routeTabEpoch != ep {
+		t, err := routing.BuildHierarchical(n.g, n.renderAssignment())
+		if err != nil {
+			return nil, err
+		}
+		n.routeTab, n.routeTabEpoch = t, ep
+	}
+	return n.routeTab, nil
+}
+
+// flatTable returns the cached flat link-state table, rebuilding it only
+// when the topology itself changed (flat routing is independent of the
+// cluster assignment).
+func (n *Network) flatTable() *routing.Flat {
+	if n.flatTab == nil || n.flatTabEpoch != n.topoEpoch {
+		n.flatTab = routing.BuildFlat(n.g)
+		n.flatTabEpoch = n.topoEpoch
+	}
+	return n.flatTab
 }
 
 func (n *Network) indexOfID(id int64) (int, bool) {
-	for i, v := range n.ids {
-		if v == id {
-			return i, true
-		}
-	}
-	return 0, false
+	i, ok := n.id2idx[id]
+	return i, ok
 }

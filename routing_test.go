@@ -105,3 +105,128 @@ func TestRoutingStateAdvantage(t *testing.T) {
 		t.Errorf("hierarchical state %v not substantially below flat %v", hier, flat)
 	}
 }
+
+// TestRoutePartitionedNetwork: Route between disconnected components
+// returns ErrUnreachable for every pair orientation, and intra-component
+// routing keeps working; RoutingState stays well-defined on a partitioned
+// network.
+func TestRoutePartitionedNetwork(t *testing.T) {
+	pts := []Point{
+		{0.1, 0.1}, {0.12, 0.1}, {0.1, 0.12},
+		{0.9, 0.9}, {0.88, 0.9}, {0.9, 0.88},
+	}
+	net, err := NewNetwork(pts, WithSeed(8), WithRange(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(500); err != nil {
+		t.Fatal(err)
+	}
+	ids := net.IDs()
+	for _, a := range []int{0, 1, 2} {
+		for _, b := range []int{3, 4, 5} {
+			if _, err := net.Route(ids[a], ids[b]); !errors.Is(err, ErrUnreachable) {
+				t.Errorf("Route(%d,%d) = %v, want ErrUnreachable", ids[a], ids[b], err)
+			}
+			if _, err := net.Route(ids[b], ids[a]); !errors.Is(err, ErrUnreachable) {
+				t.Errorf("Route(%d,%d) = %v, want ErrUnreachable", ids[b], ids[a], err)
+			}
+		}
+	}
+	if _, err := net.Route(ids[0], ids[2]); err != nil {
+		t.Errorf("intra-component route failed: %v", err)
+	}
+	if _, _, err := net.RoutingState(); err != nil {
+		t.Errorf("RoutingState on a partitioned network: %v", err)
+	}
+}
+
+// TestRouteSingleNodeNetwork: the degenerate one-node network routes to
+// itself and reports zero routing state.
+func TestRouteSingleNodeNetwork(t *testing.T) {
+	net, err := NewNetwork([]Point{{0.5, 0.5}}, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(100); err != nil {
+		t.Fatal(err)
+	}
+	id := net.IDs()[0]
+	path, err := net.Route(id, id)
+	if err != nil || len(path) != 1 || path[0] != id {
+		t.Errorf("Route(self, self) = (%v, %v), want ([%d], nil)", path, err, id)
+	}
+	flat, hier, err := net.RoutingState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat != 0 || hier != 0 {
+		t.Errorf("routing state on 1 node = (%v, %v), want (0, 0)", flat, hier)
+	}
+}
+
+// TestRoutingCacheInvalidation pins the epoch contract: repeated queries
+// on a quiescent network reuse the same table, and anything that can
+// change the clustering or topology (faults, mobility) forces a rebuild.
+func TestRoutingCacheInvalidation(t *testing.T) {
+	net, err := NewRandomNetwork(120, WithSeed(44), WithRange(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(500); err != nil {
+		t.Fatal(err)
+	}
+	t1, err := net.hierTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := net.hierTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("quiescent network rebuilt the routing table between queries")
+	}
+	// Steps on a stabilized network change nothing: the table survives.
+	if err := net.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	t3, err := net.hierTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t3 {
+		t.Error("no-op steps invalidated the routing table")
+	}
+	// Fault injection must invalidate.
+	net.InjectFaults(1)
+	t4, err := net.hierTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4 == t1 {
+		t.Error("fault injection did not invalidate the routing table")
+	}
+	// Mobility must invalidate both tables.
+	f1 := net.flatTable()
+	if f2 := net.flatTable(); f1 != f2 {
+		t.Error("static topology rebuilt the flat table between queries")
+	}
+	pos := net.Positions()
+	for i := range pos {
+		pos[i].X = clamp01(pos[i].X + 0.02)
+	}
+	if err := net.SetPositions(pos); err != nil {
+		t.Fatal(err)
+	}
+	if f3 := net.flatTable(); f3 == f1 {
+		t.Error("mobility did not invalidate the flat table")
+	}
+	t5, err := net.hierTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t5 == t4 {
+		t.Error("mobility did not invalidate the hierarchical table")
+	}
+}

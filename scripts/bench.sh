@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh — the repo's performance trajectory harness.
 #
-# Runs go vet and the race-instrumented engine determinism tests (the
-# safety net for the parallel step engine), then benchmarks the core
-# packages with -benchmem and records every sample in BENCH_step.json so
-# successive runs can be compared (benchstat on the raw text, or any tool
-# on the JSON).
+# Runs go vet and the race-instrumented determinism tests (the safety net
+# for the parallel step engine and the traffic data plane), then
+# benchmarks the core packages with -benchmem and records every sample in
+# BENCH_step.json — plus the routing/traffic suite in BENCH_traffic.json —
+# so successive runs can be compared (benchstat on the raw text, or any
+# tool on the JSON).
 #
 # Usage: scripts/bench.sh [count]
 #   count  benchmark repetitions per benchmark (default 5)
@@ -16,19 +17,27 @@ COUNT="${1:-5}"
 PKGS=(./internal/runtime ./internal/topology ./internal/cluster)
 RAW="BENCH_step.txt"
 JSON="BENCH_step.json"
+TRAFFIC_RAW="BENCH_traffic.txt"
+TRAFFIC_JSON="BENCH_traffic.json"
 
 echo "== go vet" >&2
 go vet ./...
 
 echo "== race-instrumented determinism tests" >&2
 go test -race -run 'TestParallelDeterminism|TestParallelMatchesSequentialStabilization' ./internal/runtime
+go test -race -run 'TestTrafficDeterminism' .
 
 echo "== benchmarks (count=$COUNT)" >&2
 go test -run '^$' -bench . -benchmem -count "$COUNT" "${PKGS[@]}" | tee "$RAW"
 
-# Convert the benchmark lines into a JSON array. Lines look like:
+echo "== traffic + routing benchmarks (count=$COUNT)" >&2
+go test -run '^$' -bench 'BenchmarkRouteCached|BenchmarkRouteRebuild|BenchmarkTrafficStep1000' \
+    -benchmem -count "$COUNT" . | tee "$TRAFFIC_RAW"
+
+# bench_to_json converts benchmark lines into a JSON array. Lines look like:
 #   BenchmarkStep1000   232   4536778 ns/op   64 B/op   2 allocs/op
 # (memory columns are absent for benchmarks without -benchmem metrics).
+bench_to_json() {
 awk '
 BEGIN { print "["; first = 1 }
 /^pkg: / { pkg = $2 }
@@ -48,6 +57,10 @@ BEGIN { print "["; first = 1 }
     printf "}"
 }
 END { print "\n]" }
-' "$RAW" > "$JSON"
+' "$1"
+}
 
-echo "== wrote $RAW and $JSON" >&2
+bench_to_json "$RAW" > "$JSON"
+bench_to_json "$TRAFFIC_RAW" > "$TRAFFIC_JSON"
+
+echo "== wrote $RAW, $JSON, $TRAFFIC_RAW and $TRAFFIC_JSON" >&2

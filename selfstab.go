@@ -16,6 +16,15 @@
 // legitimate clustering. Time advances in the paper's Δ(τ) steps via Step
 // or Stabilize.
 //
+// The clustering exists to make hierarchical routing scale, and the
+// simulator closes that loop: Route answers path queries over the live
+// clustering, and AttachTraffic installs a packet-level data plane — CBR,
+// Poisson and many-to-one hotspot flows, per-node bounded queues, cached
+// hierarchical forwarding — whose TrafficStats ledger reports delivery
+// ratio, path stretch versus flat shortest paths, latency percentiles and
+// the per-node load concentration the hierarchy creates on heads and
+// gateways.
+//
 // Minimal use:
 //
 //	net, err := selfstab.NewPoissonNetwork(1000, selfstab.WithRange(0.1))
@@ -60,6 +69,24 @@
 //     uniform grid index (topology.GridIndex) alive across calls and
 //     recomputes only moved nodes' cells and edges rather than
 //     rebuilding the unit-disk graph, allocation-free at steady state.
+//   - Epoch-cached routing tables. The hierarchical table behind Route,
+//     RoutingState and the traffic data plane is rebuilt only when the
+//     engine's epoch moved (a state-changing step, fault injection, a
+//     topology swap); the flat table only when the topology itself moved.
+//     A route query on a quiescent network is a pure table walk —
+//     BenchmarkRouteCached vs BenchmarkRouteRebuild measures roughly
+//     three orders of magnitude between the two.
+//   - An O(1)-amortized traffic phase. The data plane attached by
+//     AttachTraffic runs as a post-guard phase of the same step loop:
+//     packets live in fixed-capacity per-node rings, one-hop moves are
+//     staged in reused buffers, forwarding walks the cached tables via
+//     the allocation-free NextHop primitive, and latencies accumulate in
+//     a histogram that only grows to the maximum observed value. All
+//     workload randomness is drawn sequentially from a dedicated stream,
+//     so traffic statistics — like the protocol itself — are bit-identical
+//     for a fixed seed at any parallelism (pinned by TestTrafficDeterminism).
+//     BenchmarkTrafficStep1000 (1000 nodes, 100+ flows) adds zero
+//     steady-state allocations over the bare protocol step.
 //
 // The benchmark suite quantifies all of this: BenchmarkStep1000 (steady
 // protocol step at paper scale) is the headline throughput number and
@@ -67,8 +94,8 @@
 // and BenchmarkRecovery measure convergence phases where guards actually
 // run; the experiment-level benchmarks in bench_test.go regenerate the
 // paper's tables. scripts/bench.sh runs the core suites and emits
-// BENCH_step.json for the performance trajectory; compare runs with
-// benchstat before accepting a regression.
+// BENCH_step.json plus BENCH_traffic.json for the performance trajectory;
+// compare runs with benchstat before accepting a regression.
 package selfstab
 
 import (
@@ -81,8 +108,10 @@ import (
 	"selfstab/internal/geom"
 	"selfstab/internal/radio"
 	"selfstab/internal/rng"
+	"selfstab/internal/routing"
 	"selfstab/internal/runtime"
 	"selfstab/internal/topology"
+	"selfstab/internal/traffic"
 )
 
 // Point is a node position in the deployment region (the unit square by
@@ -271,10 +300,24 @@ type Network struct {
 	region geom.Rect
 	pts    []geom.Point
 	ids    []int64
+	id2idx map[int64]int // identifier → dense index
 	g      *topology.Graph
 	grid   *topology.GridIndex // persistent unit-disk index for SetPositions
 	engine *runtime.Engine
 	src    *rng.Source
+
+	// Cached routing tables with epoch invalidation: the hierarchical
+	// table is rebuilt only when the engine's epoch moved (a state-changing
+	// step, fault injection, or a topology swap), the flat table only when
+	// the topology itself moved. Route, RoutingState and the traffic data
+	// plane all share these.
+	routeTab      *routing.Hierarchical
+	routeTabEpoch uint64
+	flatTab       *routing.Flat
+	flatTabEpoch  uint64
+	topoEpoch     uint64 // bumped by SetPositions
+
+	traffic *traffic.Engine // attached data plane (nil until AttachTraffic)
 }
 
 // NewNetwork deploys nodes at explicit positions in the unit square.
@@ -385,6 +428,10 @@ func buildWith(cfg config, pts []geom.Point, src *rng.Source) (*Network, error) 
 	}
 	if err := n.assignIDs(); err != nil {
 		return nil, err
+	}
+	n.id2idx = make(map[int64]int, len(n.ids))
+	for i, id := range n.ids {
+		n.id2idx[id] = i
 	}
 	// The unit-disk index is anchored on the deployment region (not the
 	// initial point spread) and persists for the Network's lifetime, so
