@@ -1,0 +1,497 @@
+package selfstab
+
+import (
+	"fmt"
+
+	"selfstab/internal/geom"
+	"selfstab/internal/rng"
+	"selfstab/internal/runtime"
+)
+
+// NodeStatus is a node's lifecycle state under churn.
+type NodeStatus int
+
+const (
+	// NodeAlive is a normally operating node.
+	NodeAlive NodeStatus = iota
+	// NodeSleeping is a duty-cycled node: radio off, protocol state and
+	// queued packets frozen until it wakes.
+	NodeSleeping
+	// NodeDead is a permanently departed (or never-recovered crashed)
+	// node. Its index slot survives so Positions/State stay aligned, but
+	// it takes no further part in the simulation.
+	NodeDead
+)
+
+// String implements fmt.Stringer.
+func (s NodeStatus) String() string {
+	switch s {
+	case NodeAlive:
+		return "alive"
+	case NodeSleeping:
+		return "sleeping"
+	case NodeDead:
+		return "dead"
+	}
+	return fmt.Sprintf("NodeStatus(%d)", int(s))
+}
+
+func statusOf(s runtime.NodeStatus) NodeStatus {
+	switch s {
+	case runtime.StatusSleeping:
+		return NodeSleeping
+	case runtime.StatusDead:
+		return NodeDead
+	}
+	return NodeAlive
+}
+
+// ChurnKind is a bitmask naming the disruption kinds folded into one
+// convergence-ledger episode.
+type ChurnKind uint8
+
+const (
+	// ChurnJoin is a node arrival (AddNodes).
+	ChurnJoin = ChurnKind(runtime.ChurnJoin)
+	// ChurnLeave is a permanent departure (RemoveNodes).
+	ChurnLeave = ChurnKind(runtime.ChurnLeave)
+	// ChurnCrash is a state-losing reboot (CrashNodes).
+	ChurnCrash = ChurnKind(runtime.ChurnCrash)
+	// ChurnSleep is a duty-cycle power-down (SleepNodes).
+	ChurnSleep = ChurnKind(runtime.ChurnSleep)
+	// ChurnWake is a duty-cycle power-up (WakeNodes).
+	ChurnWake = ChurnKind(runtime.ChurnWake)
+	// ChurnFault is transient state corruption (InjectFaults).
+	ChurnFault = ChurnKind(runtime.ChurnFault)
+)
+
+// String renders the set, e.g. "join|crash".
+func (k ChurnKind) String() string { return runtime.ChurnKind(k).String() }
+
+// DisruptionRecord is one closed episode of the convergence ledger: a
+// burst of disruptions followed by the network re-stabilizing. It is the
+// paper's self-stabilization claim made measurable per disruption —
+// how long convergence took and how far it spread.
+type DisruptionRecord struct {
+	// Step is the completed-step count at which the episode opened.
+	Step int
+	// Kinds is the set of disruption kinds folded into the episode.
+	Kinds ChurnKind
+	// Ops counts the individual disruptions in the episode.
+	Ops int
+	// StepsToStabilize is the number of steps from the episode opening to
+	// the last step that changed any shared protocol variable.
+	StepsToStabilize int
+	// AffectedNodes counts nodes whose shared state changed during the
+	// episode.
+	AffectedNodes int
+	// AffectedRadius is the maximum hop distance from the disruption
+	// sites to any affected node, measured on the topology at close time
+	// — the paper's locality claim in hops. For departures and sleeps the
+	// sites are the vanished node's former neighbors. -1 when no affected
+	// node is reachable from a site (including "nothing changed").
+	AffectedRadius int
+}
+
+// ConvergenceStats is the convergence ledger: every closed disruption
+// episode plus aggregates. For a fixed seed it is bit-identical at any
+// parallelism (pinned by TestChurnDeterminism).
+type ConvergenceStats struct {
+	// Disruptions lists the closed episodes in order.
+	Disruptions []DisruptionRecord
+	// Open reports whether a disruption episode is still converging (its
+	// record will only appear once the network has been quiet for the
+	// convergence window).
+	Open bool
+
+	// Aggregates over the closed episodes (zero values when none closed).
+	MeanStepsToStabilize float64
+	MaxStepsToStabilize  int
+	MeanAffectedNodes    float64
+	// MeanAffectedRadius averages over episodes with a non-negative
+	// radius; MaxAffectedRadius is -1 when no episode had one.
+	MeanAffectedRadius float64
+	MaxAffectedRadius  int
+}
+
+// ConvergenceStats snapshots the convergence ledger. Episodes are
+// recorded for every disruption source: the churn schedule, the manual
+// churn calls (AddNodes, RemoveNodes, CrashNodes, SleepNodes, WakeNodes)
+// and InjectFaults.
+func (n *Network) ConvergenceStats() ConvergenceStats {
+	recs := n.engine.DisruptionRecords()
+	out := ConvergenceStats{
+		Disruptions:       make([]DisruptionRecord, len(recs)),
+		Open:              n.engine.DisruptionOpen(),
+		MaxAffectedRadius: -1,
+	}
+	var steps, affected, radius, radiusN int
+	for i, r := range recs {
+		out.Disruptions[i] = DisruptionRecord{
+			Step:             r.Step,
+			Kinds:            ChurnKind(r.Kinds),
+			Ops:              r.Ops,
+			StepsToStabilize: r.StepsToStabilize,
+			AffectedNodes:    r.AffectedNodes,
+			AffectedRadius:   r.AffectedRadius,
+		}
+		steps += r.StepsToStabilize
+		affected += r.AffectedNodes
+		if r.StepsToStabilize > out.MaxStepsToStabilize {
+			out.MaxStepsToStabilize = r.StepsToStabilize
+		}
+		if r.AffectedRadius >= 0 {
+			radius += r.AffectedRadius
+			radiusN++
+			if r.AffectedRadius > out.MaxAffectedRadius {
+				out.MaxAffectedRadius = r.AffectedRadius
+			}
+		}
+	}
+	if len(recs) > 0 {
+		out.MeanStepsToStabilize = float64(steps) / float64(len(recs))
+		out.MeanAffectedNodes = float64(affected) / float64(len(recs))
+	}
+	if radiusN > 0 {
+		out.MeanAffectedRadius = float64(radius) / float64(radiusN)
+	}
+	return out
+}
+
+// Population counts the nodes in each lifecycle state. alive + sleeping +
+// dead always equals N() — dead slots are retained.
+func (n *Network) Population() (alive, sleeping, dead int) {
+	for i := range n.pts {
+		switch n.engine.Status(i) {
+		case runtime.StatusSleeping:
+			sleeping++
+		case runtime.StatusDead:
+			dead++
+		default:
+			alive++
+		}
+	}
+	return alive, sleeping, dead
+}
+
+// AddNodes powers up new nodes at the given positions. They receive fresh
+// identifiers (returned in order), join the radio topology immediately,
+// and integrate into the clustering over the following steps. Indices of
+// existing nodes are unchanged; the new nodes take the next indices.
+func (n *Network) AddNodes(positions []Point) ([]int64, error) {
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("selfstab: no positions")
+	}
+	pts := make([]geom.Point, len(positions))
+	for i, p := range positions {
+		pts[i] = geom.Point{X: p.X, Y: p.Y}
+		if !n.region.Contains(pts[i]) {
+			return nil, fmt.Errorf("selfstab: position %d (%v, %v) outside the region", i, p.X, p.Y)
+		}
+	}
+	ids := make([]int64, len(pts))
+	for i, p := range pts {
+		id, err := n.addNodeAt(p)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// addNodeAt appends one node at p: grid and graph first (so the engine
+// sees the newcomer's edges), then the engine slot, then every dense
+// structure that must stay aligned.
+func (n *Network) addNodeAt(p geom.Point) (int64, error) {
+	id := n.nextID
+	idx := n.grid.Append(p)
+	if _, err := n.engine.Append(id); err != nil {
+		return 0, err
+	}
+	n.nextID++
+	n.pts = append(n.pts, p)
+	n.ids = append(n.ids, id)
+	n.id2idx[id] = idx
+	if n.traffic != nil {
+		n.traffic.Resize(len(n.pts))
+	}
+	if n.churn != nil {
+		n.churn.sleepUntil = append(n.churn.sleepUntil, 0)
+	}
+	n.topoEpoch++
+	return id, nil
+}
+
+// RemoveNodes powers the given nodes off permanently: radio silent,
+// protocol state cleared, queued packets accounted as dead-endpoint
+// drops. The nodes' index slots (and positions) survive so indices stay
+// stable, but the nodes never return — model a temporary outage with
+// SleepNodes/WakeNodes or a reboot with CrashNodes instead.
+func (n *Network) RemoveNodes(ids ...int64) error {
+	return n.eachIdxOf(ids, n.removeNodeIdx)
+}
+
+// CrashNodes power-cycles the given nodes: all protocol state, the
+// neighbor cache and any queued packets are lost, and each node restarts
+// cold at its current position (a sleeping node reboots awake). The
+// protocol re-integrates it exactly like a fresh arrival.
+func (n *Network) CrashNodes(ids ...int64) error {
+	return n.eachIdxOf(ids, n.crashNodeIdx)
+}
+
+// SleepNodes duty-cycles the given nodes off: radio silent, protocol
+// state and queued packets frozen. Neighbors age them out of their caches
+// (configure WithCacheTTL — without eviction a sleeping neighbor lingers
+// in caches forever). Nodes slept by this call stay down until WakeNodes.
+func (n *Network) SleepNodes(ids ...int64) error {
+	return n.eachIdxOf(ids, func(i int) error { return n.sleepNodeIdx(i, 0) })
+}
+
+// WakeNodes brings sleeping nodes back at their current positions with
+// their frozen — possibly stale — state; self-stabilization repairs the
+// staleness over the following steps.
+func (n *Network) WakeNodes(ids ...int64) error {
+	return n.eachIdxOf(ids, n.wakeNodeIdx)
+}
+
+func (n *Network) eachIdxOf(ids []int64, op func(i int) error) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("selfstab: no node ids")
+	}
+	for _, id := range ids {
+		i, ok := n.indexOfID(id)
+		if !ok {
+			return fmt.Errorf("selfstab: unknown node id %d", id)
+		}
+		if err := op(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *Network) removeNodeIdx(i int) error {
+	if err := n.engine.Kill(i); err != nil { // before edge removal: captures spread sites
+		return err
+	}
+	n.grid.Deactivate(i)
+	if n.traffic != nil {
+		n.traffic.FlushNode(i)
+	}
+	if n.churn != nil && i < len(n.churn.sleepUntil) {
+		n.churn.sleepUntil[i] = 0 // a removed sleeper must never be schedule-woken
+	}
+	n.topoEpoch++
+	return nil
+}
+
+func (n *Network) crashNodeIdx(i int) error {
+	wasSleeping := n.engine.Status(i) == runtime.StatusSleeping
+	if err := n.engine.Reboot(i); err != nil {
+		return err
+	}
+	if wasSleeping {
+		n.grid.Reactivate(i) // a crashed sleeper reboots awake
+		n.topoEpoch++
+	}
+	if n.traffic != nil {
+		n.traffic.FlushNode(i) // the queue is part of the lost state
+	}
+	if n.churn != nil && i < len(n.churn.sleepUntil) {
+		n.churn.sleepUntil[i] = 0
+	}
+	return nil
+}
+
+func (n *Network) sleepNodeIdx(i int, until int) error {
+	if err := n.engine.Sleep(i); err != nil { // before edge removal: captures spread sites
+		return err
+	}
+	n.grid.Deactivate(i)
+	if n.churn != nil && i < len(n.churn.sleepUntil) {
+		n.churn.sleepUntil[i] = until
+	}
+	n.topoEpoch++
+	return nil
+}
+
+func (n *Network) wakeNodeIdx(i int) error {
+	if n.engine.Status(i) != runtime.StatusSleeping {
+		return fmt.Errorf("selfstab: node %d is %s, cannot wake", i, statusOf(n.engine.Status(i)))
+	}
+	n.grid.Reactivate(i) // before Wake: the join sites include current neighbors
+	if err := n.engine.Wake(i); err != nil {
+		return err
+	}
+	if n.churn != nil && i < len(n.churn.sleepUntil) {
+		n.churn.sleepUntil[i] = 0
+	}
+	n.topoEpoch++
+	return nil
+}
+
+// ChurnConfig parameterizes the seeded churn schedule AttachChurn drives
+// as a pre-step phase: every step it draws Poisson-distributed counts of
+// arrivals, departures, crashes and sleeps, applies them to uniformly
+// chosen victims, and wakes nodes whose sleep duration expired. All
+// randomness comes from a dedicated stream of the network's seed, so a
+// fixed seed reproduces the same churn — and the same ConvergenceStats
+// and TrafficStats — at any parallelism.
+type ChurnConfig struct {
+	// ArrivalRate is the mean number of new nodes per step, placed
+	// uniformly in the deployment region.
+	ArrivalRate float64
+	// DepartureRate is the mean number of permanent departures per step.
+	DepartureRate float64
+	// CrashRate is the mean number of state-losing reboots per step.
+	CrashRate float64
+	// SleepRate is the mean number of nodes duty-cycled off per step.
+	SleepRate float64
+	// SleepSteps is how many steps a scheduled sleep lasts. Default 10.
+	SleepSteps int
+	// MinAlive pauses departures, crashes and sleeps while the alive
+	// population is at or below this floor. Default 2.
+	MinAlive int
+}
+
+func (c *ChurnConfig) fillDefaults() {
+	if c.SleepSteps == 0 {
+		c.SleepSteps = 10
+	}
+	if c.MinAlive == 0 {
+		c.MinAlive = 2
+	}
+}
+
+func (c *ChurnConfig) validate() error {
+	if c.ArrivalRate < 0 || c.DepartureRate < 0 || c.CrashRate < 0 || c.SleepRate < 0 {
+		return fmt.Errorf("selfstab: negative churn rate: %+v", *c)
+	}
+	if c.ArrivalRate == 0 && c.DepartureRate == 0 && c.CrashRate == 0 && c.SleepRate == 0 {
+		return fmt.Errorf("selfstab: churn config with all rates zero")
+	}
+	if c.SleepSteps < 1 {
+		return fmt.Errorf("selfstab: sleep duration %d < 1", c.SleepSteps)
+	}
+	if c.MinAlive < 1 {
+		return fmt.Errorf("selfstab: MinAlive %d < 1", c.MinAlive)
+	}
+	return nil
+}
+
+// churnState is the attached schedule: config, dedicated rng stream, and
+// the per-node wake deadlines (0 = no scheduled wake).
+type churnState struct {
+	cfg        ChurnConfig
+	src        *rng.Source
+	sleepUntil []int
+}
+
+// AttachChurn installs a node-lifecycle churn schedule that runs as a
+// pre-step phase of every subsequent Δ(τ) step (Step, Run and Stabilize
+// all drive it). Requires WithCacheTTL: without cache eviction a vanished
+// neighbor would linger in caches forever and the clustering could never
+// re-converge. Each disruption is tracked in the convergence ledger; call
+// ConvergenceStats for per-episode stabilization time and affected
+// radius. Attaching replaces any previously attached schedule; the
+// ledger persists across attaches.
+func (n *Network) AttachChurn(cfg ChurnConfig) error {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if n.cfg.cacheTTL == 0 {
+		return fmt.Errorf("selfstab: churn requires cache eviction — construct the network with WithCacheTTL")
+	}
+	if n.churn == nil {
+		n.churn = &churnState{src: n.src.Split("churn")}
+	}
+	n.churn.cfg = cfg
+	if len(n.churn.sleepUntil) < len(n.pts) {
+		n.churn.sleepUntil = make([]int, len(n.pts))
+	}
+	n.engine.SetPreStep(n.churnPreStep)
+	n.churnAttached = true
+	return nil
+}
+
+// DetachChurn removes the schedule; subsequent steps run no churn. Nodes
+// currently sleeping on a schedule will not be woken — call WakeNodes, or
+// re-attach. The convergence ledger stays readable.
+func (n *Network) DetachChurn() {
+	n.engine.SetPreStep(nil)
+	n.churnAttached = false
+}
+
+// churnPreStep is the engine pre-step hook: one step's worth of scheduled
+// churn. Allocation-free at steady state for crash/sleep/wake churn
+// (arrivals allocate: they grow the network).
+func (n *Network) churnPreStep(step int) error {
+	c := n.churn
+	// Due wakes first: they free capacity before new sleeps are drawn.
+	for i, until := range c.sleepUntil {
+		if until != 0 && step >= until {
+			if err := n.wakeNodeIdx(i); err != nil {
+				return err
+			}
+		}
+	}
+	for k := c.src.Poisson(c.cfg.ArrivalRate); k > 0; k-- {
+		p := geom.Point{
+			X: n.region.MinX + c.src.Float64()*(n.region.MaxX-n.region.MinX),
+			Y: n.region.MinY + c.src.Float64()*(n.region.MaxY-n.region.MinY),
+		}
+		if _, err := n.addNodeAt(p); err != nil {
+			return err
+		}
+	}
+	for k := c.src.Poisson(c.cfg.DepartureRate); k > 0; k-- {
+		i, ok := n.pickAlive()
+		if !ok {
+			break
+		}
+		if err := n.removeNodeIdx(i); err != nil {
+			return err
+		}
+	}
+	for k := c.src.Poisson(c.cfg.CrashRate); k > 0; k-- {
+		i, ok := n.pickAlive()
+		if !ok {
+			break
+		}
+		if err := n.crashNodeIdx(i); err != nil {
+			return err
+		}
+	}
+	for k := c.src.Poisson(c.cfg.SleepRate); k > 0; k-- {
+		i, ok := n.pickAlive()
+		if !ok {
+			break
+		}
+		if err := n.sleepNodeIdx(i, step+c.cfg.SleepSteps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickAlive draws a uniform victim among alive nodes, honoring the
+// MinAlive floor. Index-order scan: deterministic and allocation-free.
+func (n *Network) pickAlive() (int, bool) {
+	alive := n.engine.AliveCount()
+	if alive <= n.churn.cfg.MinAlive {
+		return -1, false
+	}
+	k := n.churn.src.Intn(alive)
+	for i := range n.pts {
+		if n.engine.Status(i) != runtime.StatusAlive {
+			continue
+		}
+		if k == 0 {
+			return i, true
+		}
+		k--
+	}
+	return -1, false // unreachable: k < alive
+}

@@ -1,0 +1,47 @@
+package selfstab
+
+import "testing"
+
+// BenchmarkChurnStep1000 is the churn headline: one Δ(τ) step of a
+// 1000-node network under ~1%-of-the-population-per-step lifecycle churn
+// (crashes plus sleep/wake duty-cycling, the steady-state mix whose
+// pre-step phase must not allocate — see TestChurnPreStepAllocationFree)
+// while the protocol continuously re-stabilizes around the disruptions.
+// Compare against BenchmarkStep1000 for the cost of churn itself.
+func BenchmarkChurnStep1000(b *testing.B) {
+	net, err := NewRandomNetwork(1000,
+		WithSeed(1),
+		WithRange(0.1),
+		WithCacheTTL(8),
+		WithStableWindow(10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.Stabilize(5000); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.AttachChurn(ChurnConfig{
+		CrashRate:  5,
+		SleepRate:  2.5,
+		SleepSteps: 20, // ~2.5 wakes/step at steady state: ~10 ops/step total
+	}); err != nil {
+		b.Fatal(err)
+	}
+	// Warm up: grow all reusable scratch and reach the steady churn mix.
+	if err := net.Run(60); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	alive, sleeping, dead := net.Population()
+	b.ReportMetric(float64(alive), "alive")
+	_ = sleeping
+	_ = dead
+}

@@ -1,0 +1,457 @@
+package selfstab
+
+import (
+	"reflect"
+	"testing"
+)
+
+// churnNet builds a stabilized network configured for churn (cache TTL +
+// a stable window wide enough to outlast TTL eviction).
+func churnNet(t testing.TB, nodes int, seed int64, opts ...Option) *Network {
+	t.Helper()
+	opts = append([]Option{
+		WithSeed(seed), WithRange(0.14), WithCacheTTL(4), WithStableWindow(6),
+	}, opts...)
+	net, err := NewRandomNetwork(nodes, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(2000); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestChurnDeterminism is the acceptance contract of the churn subsystem:
+// a fixed seed under a churn schedule plus live traffic yields
+// bit-identical ConvergenceStats AND TrafficStats at 1 and 4 workers.
+func TestChurnDeterminism(t *testing.T) {
+	build := func(workers int) (ConvergenceStats, TrafficStats, []Cluster) {
+		net := churnNet(t, 250, 424242)
+		net.SetParallelism(workers)
+		if err := net.AttachTraffic(TrafficConfig{
+			QueueCap: 8,
+			Flows:    mixedWorkload(net, 10),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AttachChurn(ChurnConfig{
+			ArrivalRate:   0.15,
+			DepartureRate: 0.1,
+			CrashRate:     0.2,
+			SleepRate:     0.2,
+			SleepSteps:    8,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Run(120); err != nil {
+			t.Fatal(err)
+		}
+		// Stop churning and let the survivors re-stabilize so the final
+		// episode closes into the ledger.
+		net.DetachChurn()
+		if _, err := net.Stabilize(2000); err != nil {
+			t.Fatal(err)
+		}
+		cs := net.ConvergenceStats()
+		ts, err := net.TrafficStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs, ts, net.Clusters()
+	}
+	c1, t1, cl1 := build(1)
+	c4, t4, cl4 := build(4)
+	if !reflect.DeepEqual(c1, c4) {
+		t.Fatalf("convergence ledger diverged between 1 and 4 workers:\n1: %+v\n4: %+v", c1, c4)
+	}
+	if !reflect.DeepEqual(t1, t4) {
+		t.Fatalf("traffic stats diverged between 1 and 4 workers:\n1: %+v\n4: %+v", t1, t4)
+	}
+	if !reflect.DeepEqual(cl1, cl4) {
+		t.Fatalf("clusterings diverged between 1 and 4 workers")
+	}
+	if len(c1.Disruptions) == 0 {
+		t.Fatal("churn run closed no disruption episodes")
+	}
+	if c1.Open {
+		t.Error("episode still open after detach + stabilize")
+	}
+	if t1.Offered == 0 {
+		t.Fatalf("degenerate traffic run: %+v", t1)
+	}
+	checkTrafficLedger(t, t1)
+}
+
+// TestChurnRestabilizesToOracle: after a battery of manual churn — add,
+// remove, crash, sleep, wake — the network re-stabilizes and Verify's
+// oracle comparison holds for the operating population.
+func TestChurnRestabilizesToOracle(t *testing.T) {
+	net := churnNet(t, 120, 31)
+	ids := net.IDs()
+
+	newIDs, err := net.AddNodes([]Point{{0.5, 0.5}, {0.52, 0.5}, {0.9, 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newIDs) != 3 || net.N() != 123 {
+		t.Fatalf("AddNodes gave %v, N = %d", newIDs, net.N())
+	}
+	if err := net.RemoveNodes(ids[3], ids[17]); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.CrashNodes(ids[5], newIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SleepNodes(ids[8], ids[9]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatalf("after churn battery: %v", err)
+	}
+	alive, sleeping, dead := net.Population()
+	if alive != 119 || sleeping != 2 || dead != 2 {
+		t.Fatalf("population = %d/%d/%d, want 119 alive, 2 sleeping, 2 dead", alive, sleeping, dead)
+	}
+
+	// Sleeping nodes are hidden from the clustering and their state is
+	// frozen.
+	st, err := net.State(net.id2idx[ids[8]])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != NodeSleeping {
+		t.Fatalf("status = %v, want sleeping", st.Status)
+	}
+	for _, c := range net.Clusters() {
+		for _, m := range c.Members {
+			if m == ids[8] || m == ids[3] {
+				t.Fatalf("dead/sleeping node %d listed in a cluster", m)
+			}
+		}
+	}
+
+	if err := net.WakeNodes(ids[8], ids[9]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatalf("after wake: %v", err)
+	}
+	cs := net.ConvergenceStats()
+	if len(cs.Disruptions) == 0 {
+		t.Fatal("manual churn left no ledger records")
+	}
+}
+
+// TestChurnAPIValidation covers the error surface of the lifecycle calls.
+func TestChurnAPIValidation(t *testing.T) {
+	net := churnNet(t, 30, 7)
+	ids := net.IDs()
+	if _, err := net.AddNodes(nil); err == nil {
+		t.Error("empty AddNodes accepted")
+	}
+	if _, err := net.AddNodes([]Point{{2, 2}}); err == nil {
+		t.Error("out-of-region position accepted")
+	}
+	if err := net.RemoveNodes(); err == nil {
+		t.Error("empty RemoveNodes accepted")
+	}
+	if err := net.RemoveNodes(99999); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := net.WakeNodes(ids[0]); err == nil {
+		t.Error("waking an awake node accepted")
+	}
+	if err := net.RemoveNodes(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RemoveNodes(ids[0]); err == nil {
+		t.Error("double remove accepted")
+	}
+	if err := net.CrashNodes(ids[0]); err == nil {
+		t.Error("crashing a dead node accepted")
+	}
+	if err := net.SleepNodes(ids[0]); err == nil {
+		t.Error("sleeping a dead node accepted")
+	}
+
+	// AttachChurn validation.
+	if err := net.AttachChurn(ChurnConfig{}); err == nil {
+		t.Error("all-zero churn config accepted")
+	}
+	if err := net.AttachChurn(ChurnConfig{CrashRate: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	noTTL, err := NewRandomNetwork(20, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noTTL.AttachChurn(ChurnConfig{CrashRate: 0.1}); err == nil {
+		t.Error("churn without WithCacheTTL accepted")
+	}
+}
+
+// TestTrafficSurvivesChurn: flows whose endpoints die or sleep become
+// accounted dead-endpoint drops — never a panic or an index error — and
+// delivery to a slept endpoint resumes after it wakes.
+func TestTrafficSurvivesChurn(t *testing.T) {
+	net := churnNet(t, 150, 91)
+	ids := net.IDs()
+	if err := net.AttachTraffic(TrafficConfig{
+		Flows: []Flow{
+			CBRFlow(ids[0], ids[1], 1),
+			CBRFlow(ids[2], ids[3], 1),
+			CBRFlow(ids[4], ids[5], 1),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RemoveNodes(ids[1]); err != nil { // flow 0's sink dies
+		t.Fatal(err)
+	}
+	if err := net.SleepNodes(ids[3]); err != nil { // flow 1's sink sleeps
+		t.Fatal(err)
+	}
+	if err := net.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	s, err := net.TrafficStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTrafficLedger(t, s)
+	if s.DropsDeadEndpoint == 0 {
+		t.Fatalf("no dead-endpoint drops after killing a sink: %+v", s)
+	}
+	deliveredAsleep := s.PerFlow[1].Delivered
+
+	if err := net.WakeNodes(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := net.TrafficStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTrafficLedger(t, s2)
+	if s2.PerFlow[1].Delivered <= deliveredAsleep {
+		t.Errorf("delivery to the woken sink did not resume: %+v", s2.PerFlow[1])
+	}
+	if s2.PerFlow[0].Delivered != s.PerFlow[0].Delivered {
+		t.Errorf("packets delivered to a dead node: %+v", s2.PerFlow[0])
+	}
+}
+
+// TestSelfFlowAPI is the API-level Src == Dst regression: a self-flow is
+// accepted, every packet is delivered at injection with zero hops, and
+// the ledger counts it.
+func TestSelfFlowAPI(t *testing.T) {
+	net := trafficNet(t, 40, 3)
+	ids := net.IDs()
+	if err := net.AttachTraffic(TrafficConfig{
+		Flows: []Flow{CBRFlow(ids[7], ids[7], 1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(25); err != nil {
+		t.Fatal(err)
+	}
+	s, err := net.TrafficStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTrafficLedger(t, s)
+	if s.Offered != 25 || s.Delivered != 25 || s.InFlight != 0 {
+		t.Fatalf("self-flow ledger: %+v", s)
+	}
+	if s.MeanHops != 0 || s.LatencyMax != 0 {
+		t.Fatalf("self-flow hops/latency: %+v", s)
+	}
+	if s.PerFlow[0].SrcID != ids[7] || s.PerFlow[0].DstID != ids[7] || s.PerFlow[0].Delivered != 25 {
+		t.Fatalf("per-flow self-flow ledger: %+v", s.PerFlow[0])
+	}
+}
+
+// TestFlatDistRowMemoized pins the Dist-hook fix: within one topology
+// epoch, distance lookups are served from memoized per-source rows and
+// allocate nothing; a topology change invalidates exactly once per
+// source.
+func TestFlatDistRowMemoized(t *testing.T) {
+	net := trafficNet(t, 80, 11)
+	// First call per source computes the BFS row...
+	row := net.flatDistRow(3)
+	if len(row) != net.N() {
+		t.Fatalf("row has %d entries for %d nodes", len(row), net.N())
+	}
+	// ...and repeated lookups, same source or not, allocate zero.
+	net.flatDistRow(5)
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = net.flatDistRow(3)[7]
+		_ = net.flatDistRow(5)[9]
+	})
+	if allocs != 0 {
+		t.Fatalf("memoized distance lookup allocates %.1f/op, want 0", allocs)
+	}
+	// A topology change invalidates the memo: the row pointer must be
+	// rebuilt (positions swap keeps lengths identical).
+	pos := net.Positions()
+	pos[0].X = 1 - pos[0].X
+	if err := net.SetPositions(pos); err != nil {
+		t.Fatal(err)
+	}
+	fresh := net.flatDistRow(3)
+	if &fresh[0] == &row[0] {
+		t.Fatal("stale distance row served after a topology change")
+	}
+}
+
+// TestInjectFaultsClampedAtNetworkLevel: frac outside [0, 1] is safe at
+// the public surface — negative is a no-op, > 1 corrupts everything and
+// heals.
+func TestInjectFaultsClampedAtNetworkLevel(t *testing.T) {
+	net := churnNet(t, 60, 17)
+	before := net.Clusters()
+	net.InjectFaults(-3)
+	if !reflect.DeepEqual(before, net.Clusters()) {
+		t.Fatal("negative fault fraction corrupted state")
+	}
+	net.InjectFaults(7.5)
+	if _, err := net.Stabilize(2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatalf("did not heal from frac > 1: %v", err)
+	}
+	cs := net.ConvergenceStats()
+	found := false
+	for _, d := range cs.Disruptions {
+		if d.Kinds&ChurnFault != 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fault injection left no ledger episode")
+	}
+}
+
+// TestChurnPreStepAllocationFree is the steady-state allocation contract
+// of the churn pre-step phase: at 1000 nodes under ~1%/step crash +
+// duty-cycle churn, the scheduled phase itself (Poisson draws, victim
+// selection, status flips, incremental topology repair, disruption
+// tracking) allocates nothing once warm.
+func TestChurnPreStepAllocationFree(t *testing.T) {
+	net := churnNet(t, 1000, 555, WithRange(0.1))
+	if err := net.AttachChurn(ChurnConfig{
+		CrashRate:  4,
+		SleepRate:  3,
+		SleepSteps: 12,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm: grow every reusable scratch (disruption sites, ledger BFS is
+	// never hit while churn keeps the episode open) and let sleeps/wakes
+	// cycle.
+	if err := net.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	step := net.StepCount()
+	allocs := testing.AllocsPerRun(50, func() {
+		step++
+		if err := net.churnPreStep(step); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("churn pre-step allocates %.2f/op at steady state, want 0", allocs)
+	}
+}
+
+// TestStabilizeClosesEpisodeWithDefaultWindow: with the default stable
+// window (5) and a wider cache TTL, Stabilize must widen its quiet
+// window to the convergence window, so reading the ledger right after
+// Stabilize always includes the final episode.
+func TestStabilizeClosesEpisodeWithDefaultWindow(t *testing.T) {
+	net, err := NewRandomNetwork(80, WithSeed(77), WithRange(0.14), WithCacheTTL(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(2000); err != nil {
+		t.Fatal(err)
+	}
+	ids := net.IDs()
+	if err := net.RemoveNodes(ids[0], ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(2000); err != nil {
+		t.Fatal(err)
+	}
+	cs := net.ConvergenceStats()
+	if cs.Open || len(cs.Disruptions) != 1 {
+		t.Fatalf("episode not closed by Stabilize: open=%v, %d records", cs.Open, len(cs.Disruptions))
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoveScheduledSleeperNeverWoken: removing a node the churn
+// schedule put to sleep must disarm its wake deadline — the schedule
+// must not try to wake a dead node at the deadline and abort every
+// subsequent step.
+func TestRemoveScheduledSleeperNeverWoken(t *testing.T) {
+	net := churnNet(t, 60, 19)
+	if err := net.AttachChurn(ChurnConfig{CrashRate: 0.01, SleepSteps: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the schedule sleeping node 0 with a due wake, then the
+	// user removing it before the deadline.
+	if err := net.sleepNodeIdx(0, net.StepCount()+5); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RemoveNodes(net.ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(20); err != nil {
+		t.Fatalf("schedule tried to wake the removed sleeper: %v", err)
+	}
+}
+
+// TestStabilizeWidensWindowWhileChurnAttached: with a schedule attached,
+// disruptions can open mid-run, so Stabilize must use the convergence
+// window even when no episode is open at entry — otherwise a departure
+// followed by a short quiet stretch (< cache TTL) is declared stable
+// before eviction and the episode dangles open.
+func TestStabilizeWidensWindowWhileChurnAttached(t *testing.T) {
+	net, err := NewRandomNetwork(60,
+		WithSeed(6), WithRange(0.14), WithCacheTTL(8), WithStableWindow(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachChurn(ChurnConfig{DepartureRate: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(20000); err != nil {
+		t.Fatal(err)
+	}
+	if cs := net.ConvergenceStats(); cs.Open {
+		t.Fatalf("Stabilize returned with the episode still converging: %+v", cs)
+	}
+	net.DetachChurn()
+	if err := net.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

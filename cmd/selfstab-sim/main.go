@@ -1,12 +1,13 @@
 // Command selfstab-sim regenerates the paper's evaluation tables and the
 // ablation studies from DESIGN.md, and drives the packet-level traffic
-// subsystem.
+// and node-churn subsystems.
 //
 // Usage:
 //
 //	selfstab-sim -exp table3 -runs 1000 -lambda 1000
 //	selfstab-sim -exp all -runs 30
 //	selfstab-sim traffic -nodes 1000 -steps 500 -flows 100 -scenario static
+//	selfstab-sim churn -nodes 1000 -steps 500 -scenario steady
 //
 // Experiments: table1, table2, table3, table4, table5, mobility,
 // stabilization, gamma, metrics, orders, energy, daemons, scalability,
@@ -16,6 +17,14 @@
 // hotspot workloads) to a stabilized network, runs a static, mobility or
 // fault-recovery scenario, and reports delivery ratio, path stretch,
 // latency percentiles and per-node forwarding load.
+//
+// The churn subcommand runs node-lifecycle churn — arrivals, departures,
+// crashes, duty-cycling — under a steady, burst or blackout scenario and
+// reports the convergence ledger (per-disruption steps-to-restabilize and
+// affected radius) plus the traffic ledger when flows are attached.
+//
+// An unknown subcommand, experiment, scenario or workload name exits
+// non-zero with a usage line on stderr.
 package main
 
 import (
@@ -38,9 +47,24 @@ func main() {
 
 type renderer interface{ Render() string }
 
+// usage is the one-line surface summary attached to every bad-name error,
+// so a typo exits non-zero with actionable help on stderr.
+const usage = "usage: selfstab-sim [-exp <experiment>] [flags] | selfstab-sim traffic [flags] | selfstab-sim churn [flags]"
+
+func usageErrorf(format string, a ...any) error {
+	return fmt.Errorf(format+"\n"+usage, a...)
+}
+
 func run(args []string, out io.Writer) error {
-	if len(args) > 0 && args[0] == "traffic" {
-		return runTraffic(args[1:], out)
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "traffic":
+			return runTraffic(args[1:], out)
+		case "churn":
+			return runChurn(args[1:], out)
+		default:
+			return usageErrorf("unknown subcommand %q (want traffic or churn)", args[0])
+		}
 	}
 	fs := flag.NewFlagSet("selfstab-sim", flag.ContinueOnError)
 	var (
@@ -127,7 +151,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, res.Render())
 	}
 	if !found {
-		return fmt.Errorf("unknown experiment %q", *exp)
+		return usageErrorf("unknown experiment %q", *exp)
 	}
 	return nil
 }

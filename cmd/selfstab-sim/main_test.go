@@ -118,3 +118,90 @@ func TestRunTrafficBadArgs(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+// TestRunUnknownNamesExitNonZero is the CLI error-surface contract,
+// table-driven: an unknown subcommand, experiment, traffic/churn scenario
+// or workload must come back as an error (main prints it on stderr and
+// exits 1) whose message carries the usage line — and must fail fast,
+// before any network is built.
+func TestRunUnknownNamesExitNonZero(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string // substring the error must carry
+	}{
+		{"unknown subcommand", []string{"bogus"}, "unknown subcommand"},
+		{"unknown experiment", []string{"-exp", "nope"}, "unknown experiment"},
+		{"unknown traffic scenario", []string{"traffic", "-scenario", "nope"}, "unknown traffic scenario"},
+		{"unknown traffic workload", []string{"traffic", "-workload", "nope"}, "unknown workload"},
+		{"unknown churn scenario", []string{"churn", "-scenario", "nope"}, "unknown churn scenario"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(tt.args, &buf)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want usage error", tt.args)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("run(%v) error %q, want it to mention %q", tt.args, err, tt.want)
+			}
+			if !strings.Contains(err.Error(), "usage: selfstab-sim") {
+				t.Errorf("run(%v) error %q lacks the usage line", tt.args, err)
+			}
+			if buf.Len() != 0 {
+				t.Errorf("run(%v) wrote %q to stdout on a usage error", tt.args, buf.String())
+			}
+		})
+	}
+}
+
+// TestRunChurnScenarios drives the churn subcommand end to end on small
+// networks.
+func TestRunChurnScenarios(t *testing.T) {
+	for _, args := range [][]string{
+		{"churn", "-nodes", "80", "-steps", "40", "-arrival", "0.2", "-departure", "0.2",
+			"-crash", "0.3", "-sleep", "0.3", "-sleepsteps", "6", "-scenario", "steady"},
+		{"churn", "-nodes", "80", "-steps", "40", "-crash", "0.5", "-scenario", "burst"},
+		{"churn", "-nodes", "80", "-steps", "40", "-scenario", "blackout", "-flows", "4"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Errorf("%v: %v", args, err)
+			continue
+		}
+		out := buf.String()
+		for _, want := range []string{"episodes", "alive", "clusters"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v output missing %q:\n%s", args, want, out)
+			}
+		}
+	}
+}
+
+// TestRunChurnBadFlags: malformed flag values exit non-zero.
+func TestRunChurnBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"churn", "-steps", "abc"}, &buf); err == nil {
+		t.Error("bad churn flag accepted")
+	}
+	if err := run([]string{"churn", "-nodes", "50", "-steps", "5", "-crash", "-2"}, &buf); err == nil {
+		t.Error("negative churn rate accepted")
+	}
+}
+
+// TestRunChurnBadRatesFailFast: invalid rates are rejected before any
+// network is built, in every scenario — including blackout, which never
+// attaches the schedule.
+func TestRunChurnBadRatesFailFast(t *testing.T) {
+	for _, args := range [][]string{
+		{"churn", "-scenario", "blackout", "-crash", "-1"},
+		{"churn", "-scenario", "blackout", "-sleepsteps", "-5"},
+		{"churn", "-scenario", "burst", "-departure", "-0.5"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) accepted an invalid churn config", args)
+		}
+	}
+}

@@ -32,6 +32,18 @@ func runTraffic(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Validate names up front: a typo must fail fast with usage, not
+	// after a full network build and stabilization.
+	switch strings.ToLower(*scenario) {
+	case "static", "mobility", "faults":
+	default:
+		return usageErrorf("unknown traffic scenario %q (want static, mobility or faults)", *scenario)
+	}
+	switch strings.ToLower(*workload) {
+	case "cbr", "poisson", "hotspot", "mixed":
+	default:
+		return usageErrorf("unknown workload %q (want cbr, poisson, hotspot or mixed)", *workload)
+	}
 
 	net, err := selfstab.NewRandomNetwork(*nodes,
 		selfstab.WithSeed(*seed),
@@ -192,8 +204,9 @@ func renderTrafficStats(out io.Writer, s selfstab.TrafficStats) {
 	fmt.Fprintf(w, "  offered\t%d\n", s.Offered)
 	fmt.Fprintf(w, "  delivered\t%d\t(ratio %.3f)\n", s.Delivered, s.DeliveryRatio)
 	fmt.Fprintf(w, "  in flight\t%d\n", s.InFlight)
-	fmt.Fprintf(w, "  drops\t%d\tqueue %d, no-route %d, ttl %d\n",
-		s.DropsQueue+s.DropsNoRoute+s.DropsTTL, s.DropsQueue, s.DropsNoRoute, s.DropsTTL)
+	fmt.Fprintf(w, "  drops\t%d\tqueue %d, no-route %d, ttl %d, dead-endpoint %d\n",
+		s.DropsQueue+s.DropsNoRoute+s.DropsTTL+s.DropsDeadEndpoint,
+		s.DropsQueue, s.DropsNoRoute, s.DropsTTL, s.DropsDeadEndpoint)
 	fmt.Fprintf(w, "  hops (mean)\t%.2f\tstretch vs flat %.3f\n", s.MeanHops, s.MeanStretch)
 	fmt.Fprintf(w, "  latency steps\tp50 %d\tp90 %d, p99 %d, max %d\n",
 		s.LatencyP50, s.LatencyP90, s.LatencyP99, s.LatencyMax)

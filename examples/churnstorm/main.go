@@ -1,0 +1,153 @@
+// Churnstorm: node-lifecycle churn at the paper's scale, with the
+// convergence ledger measuring the self-stabilization claim disruption by
+// disruption. A 1000-node network carries a CBR workload while nodes
+// appear, depart, crash and duty-cycle:
+//
+//  1. steady churn: ~1% of the population is disrupted every step for 300
+//     steps while the clustering continuously re-converges around the
+//     churn and the data plane keeps forwarding;
+//  2. flash crowd: 150 nodes power up in one step inside a small disc —
+//     the disaster-area scenario of the paper's introduction, arriving
+//     mid-run;
+//  3. blackout: a third of the network duty-cycles off at once, runs
+//     dark, then wakes with stale state that self-stabilization repairs.
+//
+// Each scenario reports the convergence ledger — episodes, mean/max
+// steps-to-restabilize, affected radius in hops (the paper's locality
+// claim, measured) — and the traffic ledger including the dead-endpoint
+// drops churn inflicts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfstab"
+)
+
+const (
+	nodes      = 1000
+	steps      = 300
+	flows      = 60
+	rate       = 0.1
+	radioRange = 0.1
+	seed       = 2026
+)
+
+func main() {
+	fmt.Printf("churnstorm: %d nodes x %d steps, %d CBR flows riding through the churn\n\n",
+		nodes, steps, flows)
+
+	runScenario("steady churn (~1%/step)", func(net *selfstab.Network) error {
+		if err := net.AttachChurn(selfstab.ChurnConfig{
+			ArrivalRate:   1,
+			DepartureRate: 1,
+			CrashRate:     4,
+			SleepRate:     2,
+			SleepSteps:    20,
+		}); err != nil {
+			return err
+		}
+		if err := net.Run(steps); err != nil {
+			return err
+		}
+		net.DetachChurn()
+		return nil
+	})
+
+	runScenario("flash crowd (150 joins at once)", func(net *selfstab.Network) error {
+		if err := net.Run(steps / 3); err != nil {
+			return err
+		}
+		pts := make([]selfstab.Point, 150)
+		for i := range pts {
+			// A tight disc around (0.3, 0.7): the arriving incident-response
+			// team of the paper's motivating scenario.
+			pts[i] = selfstab.Point{
+				X: 0.3 + 0.08*float64(i%15)/15,
+				Y: 0.7 + 0.08*float64(i/15)/10,
+			}
+		}
+		if _, err := net.AddNodes(pts); err != nil {
+			return err
+		}
+		return net.Run(steps - steps/3)
+	})
+
+	runScenario("blackout (1/3 sleeps, then wakes)", func(net *selfstab.Network) error {
+		ids := net.IDs()
+		var down []int64
+		for i := 0; i < len(ids); i += 3 {
+			down = append(down, ids[i])
+		}
+		if err := net.Run(steps / 4); err != nil {
+			return err
+		}
+		if err := net.SleepNodes(down...); err != nil {
+			return err
+		}
+		if err := net.Run(steps / 2); err != nil {
+			return err
+		}
+		if err := net.WakeNodes(down...); err != nil {
+			return err
+		}
+		return net.Run(steps - steps/4 - steps/2)
+	})
+}
+
+// runScenario builds a fresh stabilized network carrying the standard
+// workload, hands the churn policy to drive, then lets the survivors
+// re-stabilize and prints both ledgers.
+func runScenario(name string, drive func(*selfstab.Network) error) {
+	net, err := selfstab.NewPoissonNetwork(nodes,
+		selfstab.WithSeed(seed),
+		selfstab.WithRange(radioRange),
+		selfstab.WithCacheTTL(8),
+		selfstab.WithStableWindow(10),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := net.Stabilize(5000); err != nil {
+		log.Fatal(err)
+	}
+	ids := net.IDs()
+	specs := make([]selfstab.Flow, 0, flows)
+	for i := 0; i < flows; i++ {
+		specs = append(specs, selfstab.CBRFlow(
+			ids[(i*7)%len(ids)], ids[(i*13+len(ids)/2)%len(ids)], rate))
+	}
+	if err := net.AttachTraffic(selfstab.TrafficConfig{QueueCap: 32, Budget: 2, Flows: specs}); err != nil {
+		log.Fatal(err)
+	}
+	if err := drive(net); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := net.Stabilize(20000); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		log.Fatalf("%s: network did not re-stabilize legitimately: %v", name, err)
+	}
+
+	alive, sleeping, dead := net.Population()
+	cs := net.ConvergenceStats()
+	ts, err := net.TrafficStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  population: %d slots — %d alive, %d sleeping, %d dead; %d clusters, Verify ok\n",
+		net.N(), alive, sleeping, dead, len(net.Clusters()))
+	var ops int
+	for _, d := range cs.Disruptions {
+		ops += d.Ops
+	}
+	fmt.Printf("  convergence: %d episodes (%d disruptions), restabilize mean %.1f / max %d steps, radius mean %.1f / max %d hops\n",
+		len(cs.Disruptions), ops, cs.MeanStepsToStabilize, cs.MaxStepsToStabilize,
+		cs.MeanAffectedRadius, cs.MaxAffectedRadius)
+	fmt.Printf("  traffic: delivery %.3f (%d/%d decided), drops: queue %d, no-route %d, ttl %d, dead-endpoint %d\n\n",
+		ts.DeliveryRatio, ts.Delivered, ts.Offered-ts.InFlight,
+		ts.DropsQueue, ts.DropsNoRoute, ts.DropsTTL, ts.DropsDeadEndpoint)
+}

@@ -75,14 +75,30 @@ type Engine struct {
 	medium  radio.Medium
 	nodes   []*Node
 	daemon  *rng.Source
+	src     *rng.Source // retained master source: Append derives per-node streams from it
 	step    int
 	workers int // 0 = GOMAXPROCS
+
+	// Node lifecycle (churn). status holds each slot's lifecycle state;
+	// sendMask mirrors status == StatusAlive in the []bool shape the radio
+	// medium consumes. Slots are never reused: a dead node keeps its index
+	// so every dense per-node array stays aligned.
+	status   []NodeStatus
+	sendMask []bool
 
 	// Reusable step scratch.
 	out         []Frame // one outgoing frame per sender
 	inbox       radio.Inbox
 	active      []bool // daemon pre-draws (only populated when 0 < p < 1)
 	stepChanged bool   // any shared variable changed during the last Step
+	lastChange  int    // most recent step (or disruption) that changed shared state
+
+	// Disruption tracking for the convergence ledger (see churn.go).
+	convWindow int
+	disrupt    disruption
+	ledger     []DisruptionRecord
+	bfsDist    []int32
+	bfsQueue   []int32
 
 	// epoch increments whenever anything a derived structure (routing
 	// tables, cluster renderings) could depend on changes: a step that
@@ -92,8 +108,11 @@ type Engine struct {
 
 	// postStep, when set, runs at the end of every Step after the guards —
 	// the hook the traffic data plane uses to move packets inside the same
-	// Δ(τ) step loop.
+	// Δ(τ) step loop. preStep runs at the start of every Step, before any
+	// broadcast — the hook churn schedules use to add, remove, crash and
+	// duty-cycle nodes inside the same loop.
 	postStep func(step int) error
+	preStep  func(step int) error
 }
 
 // ErrNotStabilized is returned by RunUntilStable when the state kept
@@ -127,19 +146,33 @@ func New(g *topology.Graph, ids []int64, proto Protocol, medium radio.Medium, sr
 		idx[id] = i
 	}
 	e := &Engine{
-		g:      g,
-		ids:    append([]int64(nil), ids...),
-		idx:    idx,
-		proto:  proto,
-		medium: medium,
-		nodes:  make([]*Node, g.N()),
-		daemon: src.Split("daemon"),
-		out:    make([]Frame, g.N()),
-		active: make([]bool, g.N()),
+		g:        g,
+		ids:      append([]int64(nil), ids...),
+		idx:      idx,
+		proto:    proto,
+		medium:   medium,
+		nodes:    make([]*Node, g.N()),
+		daemon:   src.Split("daemon"),
+		src:      src,
+		out:      make([]Frame, g.N()),
+		active:   make([]bool, g.N()),
+		status:   make([]NodeStatus, g.N()),
+		sendMask: make([]bool, g.N()),
 	}
 	for i := range e.nodes {
 		e.nodes[i] = newNode(ids[i], proto, src.SplitN("node", i))
+		e.sendMask[i] = true
 	}
+	// Close disruption episodes only after a quiet stretch long enough for
+	// TTL eviction to have flushed a vanished neighbor — otherwise a
+	// departure would be declared "converged" before its cache entries even
+	// expired.
+	e.convWindow = 5
+	if proto.CacheTTL+2 > e.convWindow {
+		e.convWindow = proto.CacheTTL + 2
+	}
+	e.disrupt.changed = make([]bool, g.N())
+	e.disrupt.siteSet = make([]bool, g.N())
 	return e, nil
 }
 
@@ -179,6 +212,12 @@ func (e *Engine) Epoch() uint64 { return e.epoch }
 // epoch advanced) — retrying Step runs a new step, it does not replay the
 // failed one.
 func (e *Engine) SetPostStep(fn func(step int) error) { e.postStep = fn }
+
+// SetPreStep installs a hook that runs at the start of every Step, before
+// any broadcast (nil disables it). The hook receives the number of
+// completed steps; churn schedules use it to mutate the population inside
+// the step loop, so a step always observes a consistent topology.
+func (e *Engine) SetPreStep(fn func(step int) error) { e.preStep = fn }
 
 // SetParallelism fixes the number of workers used for the per-node step
 // phases. 0 (the default) sizes the pool to GOMAXPROCS. Results are
@@ -242,16 +281,30 @@ func (e *Engine) forEachNode(fn func(i int) bool) bool {
 	return changed.Load()
 }
 
-// Step executes one Δ(τ) step: every node broadcasts its frame, the medium
-// delivers, every node ingests and runs its guarded assignments (N1, R1,
-// R2) once, in that order.
+// Step executes one Δ(τ) step: every live node broadcasts its frame, the
+// medium delivers, every live node ingests and runs its guarded
+// assignments (N1, R1, R2) once, in that order. Sleeping and dead nodes
+// neither transmit nor listen, and their state is frozen (sleeping) or
+// cleared (dead).
 func (e *Engine) Step() error {
-	// Phase 1 (parallel): assemble every node's outgoing frame into the
-	// engine's scratch. All frames must exist before delivery resolves
+	// Close a converged disruption episode before new churn can extend it,
+	// then run the churn pre-step (node add/remove/crash/sleep/wake).
+	e.maybeCloseDisruption()
+	if e.preStep != nil {
+		if err := e.preStep(e.step); err != nil {
+			return fmt.Errorf("step %d: pre-step: %w", e.step, err)
+		}
+	}
+
+	// Phase 1 (parallel): assemble every live node's outgoing frame into
+	// the engine's scratch. All frames must exist before delivery resolves
 	// sender indices against them. When neither the node's shared
 	// variables nor its cached summaries changed, the scratch copy from
 	// the previous step is still valid.
 	e.forEachNode(func(i int) bool {
+		if e.status[i] != StatusAlive {
+			return false
+		}
 		if n := e.nodes[i]; n.frameDirty {
 			n.fillFrame(&e.out[i])
 			n.frameDirty = false
@@ -261,7 +314,10 @@ func (e *Engine) Step() error {
 
 	// Phase 2 (sequential): the medium owns its rng stream, so delivery
 	// decisions are drawn on one goroutine regardless of worker count.
-	if err := e.medium.Deliver(e.g, nil, &e.inbox); err != nil {
+	// Sleeping and dead nodes stay silent via the send mask (their edges
+	// are gone too when the topology layer maintains churn, but the mask
+	// keeps the engine correct on a manually mutated graph).
+	if err := e.medium.Deliver(e.g, e.sendMask, &e.inbox); err != nil {
 		return fmt.Errorf("step %d: %w", e.step, err)
 	}
 	if e.inbox.N() != len(e.nodes) {
@@ -286,7 +342,11 @@ func (e *Engine) Step() error {
 	// node's own shared variables, so unchanged inputs mean unchanged
 	// outputs and a stabilized network steps in O(delivered frames).
 	ttl := e.proto.CacheTTL
+	tracking := e.disrupt.active
 	e.stepChanged = e.forEachNode(func(i int) bool {
+		if e.status[i] != StatusAlive {
+			return false // sleeping/dead: radio off, state frozen, no aging
+		}
 		n := e.nodes[i]
 		n.ingest(e.out, e.inbox.Senders(i), ttl)
 		if act != nil && !act[i] {
@@ -304,11 +364,16 @@ func (e *Engine) Step() error {
 			// broadcast next step.
 			n.dirty = true
 			n.frameDirty = true
+			if tracking {
+				// Distinct indices: race-free under the worker pool.
+				e.disrupt.changed[i] = true
+			}
 		}
 		return changed
 	})
 	if e.stepChanged {
 		e.epoch++
+		e.lastChange = e.step + 1 // the step about to be counted below
 	}
 	e.step++
 	if e.postStep != nil {
@@ -329,26 +394,30 @@ func (e *Engine) Run(steps int) error {
 
 // RunUntilStable steps the engine until the shared variables (color,
 // density, head) of every node stay unchanged for window consecutive steps,
-// or until maxSteps have run. It returns the stabilization step: the last
-// step at which anything changed (0 if already stable).
+// or until maxSteps have run. It returns the stabilization step relative
+// to the call: the last step at which anything changed (0 if already
+// stable).
 //
 // Stability is tracked by the guards themselves: every guarded assignment
 // reports whether it wrote a new value, so detecting quiescence costs no
-// per-step state snapshot or comparison.
+// per-step state snapshot or comparison. A disruption occurring mid-run
+// (a churn pre-step op, a corruption) counts as a change even before any
+// shared variable moves — its protocol consequences may lag by up to the
+// cache TTL, and declaring stability inside that lag would be premature.
 func (e *Engine) RunUntilStable(maxSteps, window int) (int, error) {
 	if window < 1 {
 		window = 1
 	}
-	lastChange := 0
+	start := e.step
 	for s := 1; s <= maxSteps; s++ {
 		if err := e.Step(); err != nil {
 			return 0, err
 		}
-		if e.stepChanged {
-			lastChange = s
-		}
-		if s-lastChange >= window {
-			return lastChange, nil
+		if e.step-e.lastChange >= window {
+			if e.lastChange <= start {
+				return 0, nil
+			}
+			return e.lastChange - start, nil
 		}
 	}
 	return 0, ErrNotStabilized
@@ -480,13 +549,28 @@ const (
 // with arbitrary garbage (including identifiers that do not exist in the
 // network). This is the "arbitrary initial state" of the self-stabilization
 // model.
+//
+// frac is clamped to [0, 1]: values above 1 hit every node, values at or
+// below 0 are a guaranteed no-op (no epoch bump, no rng draws). Hit nodes
+// are recorded as a ChurnFault disruption in the convergence ledger.
 func (e *Engine) Corrupt(frac float64, kind CorruptionKind, src *rng.Source) {
+	if frac <= 0 {
+		return
+	}
+	if frac > 1 {
+		frac = 1
+	}
 	e.epoch++
 	garbageID := func() int64 { return src.Int63()%2000 - 1000 }
-	for _, n := range e.nodes {
+	for i, n := range e.nodes {
 		if src.Float64() >= frac {
 			continue
 		}
+		if e.status[i] == StatusDead {
+			continue // nothing left to corrupt; the slot is inert
+		}
+		e.markDisruption(ChurnFault, i, nil)
+		e.markChanged(i)
 		n.dirty = true      // corrupted inputs must be re-evaluated...
 		n.frameDirty = true // ...and re-broadcast
 		if kind&CorruptState != 0 {

@@ -125,6 +125,27 @@ func newNode(id int64, proto Protocol, src *rng.Source) *Node {
 	return n
 }
 
+// reset returns the node to the cold-start state of newNode: self-head,
+// empty cache, and (with the DAG) a fresh color drawn from the node's own
+// stream — the stream continues rather than restarting, so a crash at a
+// fixed step stays reproducible. Cache entries are zeroed so evicted
+// frames do not pin their Nbrs arrays; the entry slice keeps its capacity.
+func (n *Node) reset(proto Protocol) {
+	n.tieID = n.id
+	if proto.UseDag {
+		n.tieID = n.src.Int63() % proto.Gamma
+	}
+	n.density = 0
+	n.headID = n.id
+	n.parent = n.id
+	for i := range n.cache {
+		n.cache[i] = cacheEntry{}
+	}
+	n.cache = n.cache[:0]
+	n.dirty = true
+	n.frameDirty = true
+}
+
 // ID returns the node's application identifier.
 func (n *Node) ID() int64 { return n.id }
 

@@ -30,10 +30,11 @@ type GridIndex struct {
 	cols int
 	rows int
 
-	pts     []geom.Point // current positions (owned copy)
-	cell    []int32      // cell index per node
-	buckets [][]int32    // node indices per cell (unordered)
-	g       *Graph
+	pts      []geom.Point // current positions (owned copy)
+	cell     []int32      // cell index per node
+	buckets  [][]int32    // node indices per cell (unordered)
+	inactive []bool       // radio off (dead or sleeping): no bucket entry, no edges
+	g        *Graph
 
 	// Reusable Update scratch.
 	movedFlag []bool
@@ -62,11 +63,12 @@ func NewGridIndexInRegion(pts []geom.Point, r float64, region geom.Rect) *GridIn
 
 func newGridIndex(pts []geom.Point, r float64, region *geom.Rect) *GridIndex {
 	gi := &GridIndex{
-		r:    r,
-		r2:   r * r,
-		pts:  append([]geom.Point(nil), pts...),
-		g:    New(len(pts)),
-		cell: make([]int32, len(pts)),
+		r:        r,
+		r2:       r * r,
+		pts:      append([]geom.Point(nil), pts...),
+		g:        New(len(pts)),
+		cell:     make([]int32, len(pts)),
+		inactive: make([]bool, len(pts)),
 	}
 	gi.sizeGrid(region)
 	gi.buckets = make([][]int32, gi.cols*gi.rows)
@@ -195,12 +197,17 @@ func (gi *GridIndex) Update(pts []geom.Point) (*Graph, error) {
 	}
 	gi.moved = gi.moved[:0]
 
-	// Pass 1: install new positions and repair cell membership.
+	// Pass 1: install new positions and repair cell membership. Inactive
+	// slots (Deactivate) just record the position — they sit in no bucket
+	// and own no edges, so there is nothing to repair until Reactivate.
 	for i, p := range pts {
 		if p == gi.pts[i] {
 			continue
 		}
 		gi.pts[i] = p
+		if gi.inactive[i] {
+			continue
+		}
 		gi.movedFlag[i] = true
 		gi.moved = append(gi.moved, int32(i))
 		if c := gi.cellOf(p); c != gi.cell[i] {
@@ -234,6 +241,73 @@ func (gi *GridIndex) Update(pts []geom.Point) (*Graph, error) {
 		gi.g.adj[i] = append(gi.g.adj[i][:0], gi.newNbrs...)
 	}
 	return gi.g, nil
+}
+
+// Append adds one new node at p to the index and its graph, wiring its
+// unit-disk edges incrementally into existing neighbors' adjacency lists.
+// It returns the new node's dense index (always the current node count —
+// churn only ever grows the index at the end, keeping existing indices
+// stable). Cost is O(local density).
+func (gi *GridIndex) Append(p geom.Point) int {
+	i := len(gi.pts)
+	gi.pts = append(gi.pts, p)
+	c := gi.cellOf(p)
+	gi.cell = append(gi.cell, c)
+	gi.buckets[c] = append(gi.buckets[c], int32(i))
+	gi.inactive = append(gi.inactive, false)
+	gi.g.AddNode()
+	if gi.r > 0 {
+		gi.newNbrs = gi.collectNeighbors(i, gi.newNbrs)
+		for _, j := range gi.newNbrs {
+			gi.g.adj[j] = insertSorted(gi.g.adj[j], i)
+		}
+		gi.g.adj[i] = append(gi.g.adj[i][:0], gi.newNbrs...)
+	}
+	return i
+}
+
+// Deactivate switches node i's radio off: it leaves its cell bucket and
+// every incident edge is removed from both endpoints. The slot (and its
+// position) survives, so indices stay dense and stable; use Reactivate to
+// bring the node back. Deactivating an already-inactive node is a no-op.
+// Edge-list capacity is retained so a deactivate/reactivate cycle is
+// allocation-free at steady state.
+func (gi *GridIndex) Deactivate(i int) {
+	if i < 0 || i >= len(gi.pts) || gi.inactive[i] {
+		return
+	}
+	gi.bucketRemove(gi.cell[i], int32(i))
+	gi.inactive[i] = true
+	for _, j := range gi.g.adj[i] {
+		gi.g.adj[j] = removeSorted(gi.g.adj[j], i)
+	}
+	gi.g.adj[i] = gi.g.adj[i][:0]
+}
+
+// Reactivate switches node i's radio back on at its current position:
+// it rejoins its cell bucket and its unit-disk edges are recomputed and
+// patched into neighbors' lists. Reactivating an active node is a no-op.
+func (gi *GridIndex) Reactivate(i int) {
+	if i < 0 || i >= len(gi.pts) || !gi.inactive[i] {
+		return
+	}
+	c := gi.cellOf(gi.pts[i])
+	gi.cell[i] = c
+	gi.buckets[c] = append(gi.buckets[c], int32(i))
+	gi.inactive[i] = false
+	if gi.r > 0 {
+		gi.newNbrs = gi.collectNeighbors(i, gi.newNbrs)
+		for _, j := range gi.newNbrs {
+			gi.g.adj[j] = insertSorted(gi.g.adj[j], i)
+		}
+		gi.g.adj[i] = append(gi.g.adj[i][:0], gi.newNbrs...)
+	}
+}
+
+// Active reports whether node i currently has its radio on (i.e. it has
+// not been Deactivated).
+func (gi *GridIndex) Active(i int) bool {
+	return i >= 0 && i < len(gi.pts) && !gi.inactive[i]
 }
 
 // bucketRemove drops node id from cell c's bucket (swap-remove).

@@ -182,3 +182,88 @@ func BenchmarkFromPointsMobility(b *testing.B) {
 		FromPoints(pts, 0.1)
 	}
 }
+
+// churnOracle builds the expected unit-disk graph over the active subset
+// by brute force: active pairs within range are adjacent, inactive slots
+// are isolated vertices.
+func churnOracle(pts []geom.Point, inactive []bool, r float64) *Graph {
+	g := New(len(pts))
+	for u := range pts {
+		if inactive[u] {
+			continue
+		}
+		for v := u + 1; v < len(pts); v++ {
+			if !inactive[v] && pts[u].Dist2(pts[v]) <= r*r {
+				if err := g.AddEdge(u, v); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// TestGridIndexChurnMatchesOracle drives random interleavings of Append,
+// Deactivate, Reactivate, and Update (moves, including moves of inactive
+// slots) and checks the incrementally maintained adjacency against the
+// brute-force oracle after every operation.
+func TestGridIndexChurnMatchesOracle(t *testing.T) {
+	const r = 0.15
+	for seed := int64(0); seed < 3; seed++ {
+		src := rng.New(500 + seed)
+		pts := randPoints(60, src)
+		idx := NewGridIndexInRegion(pts, r, geom.UnitSquare())
+		inactive := make([]bool, len(pts))
+		for iter := 0; iter < 120; iter++ {
+			switch src.Intn(4) {
+			case 0: // append a fresh node
+				p := geom.Point{X: src.Float64(), Y: src.Float64()}
+				got := idx.Append(p)
+				pts = append(pts, p)
+				inactive = append(inactive, false)
+				if got != len(pts)-1 {
+					t.Fatalf("Append returned index %d, want %d", got, len(pts)-1)
+				}
+			case 1: // radio off
+				i := src.Intn(len(pts))
+				idx.Deactivate(i)
+				inactive[i] = true
+				if idx.Active(i) {
+					t.Fatalf("node %d active after Deactivate", i)
+				}
+			case 2: // radio on
+				i := src.Intn(len(pts))
+				idx.Reactivate(i)
+				inactive[i] = false
+			default: // move a random subset (inactive slots included)
+				next := append([]geom.Point(nil), pts...)
+				for k := src.Intn(8); k > 0; k-- {
+					i := src.Intn(len(pts))
+					next[i] = geom.Point{X: src.Float64(), Y: src.Float64()}
+				}
+				if _, err := idx.Update(next); err != nil {
+					t.Fatal(err)
+				}
+				pts = next
+			}
+			graphsEqual(t, idx.Graph(), churnOracle(pts, inactive, r), "churn")
+		}
+	}
+}
+
+// TestGridIndexDeactivateIdempotent: double deactivate/reactivate and
+// out-of-range indices are safe no-ops.
+func TestGridIndexDeactivateIdempotent(t *testing.T) {
+	src := rng.New(9)
+	pts := randPoints(20, src)
+	idx := NewGridIndex(pts, 0.3)
+	want := idx.Graph().Clone()
+	idx.Deactivate(-1)
+	idx.Reactivate(99)
+	idx.Reactivate(3) // already active
+	graphsEqual(t, idx.Graph(), want, "no-op churn")
+	idx.Deactivate(3)
+	idx.Deactivate(3) // already inactive
+	idx.Reactivate(3)
+	graphsEqual(t, idx.Graph(), want, "deactivate/reactivate round trip")
+}

@@ -42,6 +42,14 @@ func FromPoints(pts []geom.Point, r float64) *Graph {
 // N returns the number of nodes.
 func (g *Graph) N() int { return len(g.adj) }
 
+// AddNode appends a new isolated vertex and returns its index. Indices of
+// existing nodes are unaffected — the graph only ever grows at the end, so
+// dense per-node arrays elsewhere stay aligned under churn.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
 // AddEdge inserts the undirected edge (u, v). Self-loops and duplicates are
 // rejected with an error so test fixtures fail loudly on typos.
 func (g *Graph) AddEdge(u, v int) error {

@@ -34,6 +34,11 @@ type FlowSpec struct {
 	Stop int
 }
 
+// validate checks the spec against an n-node network. Src == Dst is
+// deliberately legal: a self-flow never enters the forwarding loop — each
+// packet is delivered at injection with zero hops and appears in the
+// ledger as offered and delivered (a loopback measurement workload, and
+// the safe degenerate case of randomly sampled endpoint pairs).
 func (s *FlowSpec) validate(n int) error {
 	if s.Kind != CBR && s.Kind != Poisson {
 		return fmt.Errorf("invalid kind %d", int(s.Kind))

@@ -5,15 +5,16 @@ package traffic
 // Stats time is exact and the steady-state step path never allocates
 // (the histogram only grows to the maximum observed latency).
 type acc struct {
-	offered      int64
-	delivered    int64
-	dropsQueue   int64
-	dropsNoRoute int64
-	dropsTTL     int64
-	hopTotal     int64
-	stretchSum   float64
-	stretchCount int64
-	latHist      []int64
+	offered           int64
+	delivered         int64
+	dropsQueue        int64
+	dropsNoRoute      int64
+	dropsTTL          int64
+	dropsDeadEndpoint int64
+	hopTotal          int64
+	stretchSum        float64
+	stretchCount      int64
+	latHist           []int64
 }
 
 func (a *acc) observeLatency(l int) {
@@ -56,7 +57,7 @@ type FlowStats struct {
 
 // Stats is the data plane's ledger at a point in time. The accounting
 // identity Offered == Delivered + DropsQueue + DropsNoRoute + DropsTTL +
-// InFlight holds at every step boundary.
+// DropsDeadEndpoint + InFlight holds at every step boundary.
 type Stats struct {
 	Steps int // steps the data plane itself has run (not the protocol's lifetime count)
 
@@ -67,6 +68,10 @@ type Stats struct {
 	DropsQueue   int64 // queue overflow (either discipline)
 	DropsNoRoute int64 // routing had no next hop
 	DropsTTL     int64 // hop budget exceeded
+	// DropsDeadEndpoint counts packets addressed to a dead or sleeping
+	// node (at injection or mid-flight) plus packets lost with the queue
+	// of a crashed or departed node.
+	DropsDeadEndpoint int64
 
 	// DeliveryRatio is Delivered / (Offered - InFlight): the fraction of
 	// packets with a decided fate that made it. 0 when nothing decided.
@@ -97,17 +102,18 @@ type Stats struct {
 // Stats snapshots the ledger.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Steps:        e.stepsRun,
-		Offered:      e.acc.offered,
-		Delivered:    e.acc.delivered,
-		InFlight:     e.InFlight(),
-		DropsQueue:   e.acc.dropsQueue,
-		DropsNoRoute: e.acc.dropsNoRoute,
-		DropsTTL:     e.acc.dropsTTL,
-		LatencyP50:   e.acc.percentile(0.50),
-		LatencyP90:   e.acc.percentile(0.90),
-		LatencyP99:   e.acc.percentile(0.99),
-		LatencyMax:   -1,
+		Steps:             e.stepsRun,
+		Offered:           e.acc.offered,
+		Delivered:         e.acc.delivered,
+		InFlight:          e.InFlight(),
+		DropsQueue:        e.acc.dropsQueue,
+		DropsNoRoute:      e.acc.dropsNoRoute,
+		DropsTTL:          e.acc.dropsTTL,
+		DropsDeadEndpoint: e.acc.dropsDeadEndpoint,
+		LatencyP50:        e.acc.percentile(0.50),
+		LatencyP90:        e.acc.percentile(0.90),
+		LatencyP99:        e.acc.percentile(0.99),
+		LatencyMax:        -1,
 	}
 	if decided := s.Offered - s.InFlight; decided > 0 {
 		s.DeliveryRatio = float64(s.Delivered) / float64(decided)
@@ -124,14 +130,23 @@ func (e *Engine) Stats() Stats {
 	if e.acc.stretchCount > 0 {
 		s.MeanStretch = e.acc.stretchSum / float64(e.acc.stretchCount)
 	}
+	// MeanLoad averages over the operating population: dead slots are
+	// never recycled under churn and would silently dilute the baseline
+	// the MaxLoad-vs-MeanLoad hotspot comparison rests on.
 	total := int64(0)
-	for _, l := range e.load {
+	operating := 0
+	for i, l := range e.load {
 		total += l
 		if l > s.MaxLoad {
 			s.MaxLoad = l
 		}
+		if e.alive(i) {
+			operating++
+		}
 	}
-	s.MeanLoad = float64(total) / float64(len(e.load))
+	if operating > 0 {
+		s.MeanLoad = float64(total) / float64(operating)
+	}
 	s.Flows = make([]FlowStats, len(e.flows))
 	for i := range e.flows {
 		f := &e.flows[i]

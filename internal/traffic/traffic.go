@@ -4,7 +4,11 @@
 // flow generators inject packets, a per-node forwarding engine moves them
 // one hop per step through bounded queues over whatever routing the caller
 // provides, and a metrics sink accounts for every packet — delivered,
-// dropped (queue overflow, no route, TTL) or still in flight.
+// dropped (queue overflow, no route, TTL, dead endpoint) or still in
+// flight. The data plane survives churn: Resize grows it when nodes
+// join, FlushNode accounts for queues lost to crashes and departures,
+// and the Alive hook turns packets addressed to dead or sleeping
+// endpoints into accounted drops instead of routing errors.
 //
 // The engine is deterministic: all randomness (Poisson inter-arrivals,
 // endpoint sampling) is drawn from the caller's rng stream in flow order,
@@ -48,6 +52,12 @@ type Hooks struct {
 	// TopoEpoch identifies the current topology version; cached flat
 	// distances are reused while it is unchanged.
 	TopoEpoch func() uint64
+	// Alive reports whether node i is currently an operating endpoint
+	// (powered on and awake). nil means every node is always alive. A flow
+	// whose source is not alive pauses (nothing offered, no rng draws,
+	// no CBR credit); packets addressed to a not-alive destination become
+	// DropsDeadEndpoint, at injection and at every forwarding hop.
+	Alive func(i int) bool
 }
 
 // Config parameterizes the data plane.
@@ -201,9 +211,13 @@ func (e *Engine) Step(step int) error {
 	e.stepsRun++
 
 	// Phase 1: injection, in flow order (all randomness drawn here, on one
-	// stream, so trajectories are worker-count independent).
+	// stream, so trajectories are worker-count independent). Flows with a
+	// dead or sleeping source are paused entirely.
 	for fi := range e.flows {
 		f := &e.flows[fi]
+		if !e.alive(f.spec.Src) {
+			continue
+		}
 		for range f.arrivalsThisStep(step, e.src) {
 			e.inject(fi, f)
 		}
@@ -211,10 +225,22 @@ func (e *Engine) Step(step int) error {
 
 	// Phase 2: forwarding, in node-index order. Moves are staged so a
 	// packet advances exactly one hop per step no matter the node order.
+	// Dead nodes' queues were flushed when they died; a sleeping node's
+	// queue is frozen until it wakes.
 	for u := 0; u < e.n; u++ {
+		if !e.alive(u) {
+			continue
+		}
 		q := &e.queues[u]
 		for b := e.cfg.Budget; b > 0 && q.count > 0; b-- {
 			p := q.pop()
+			if !e.alive(int(p.dst)) {
+				// The endpoint died or went to sleep while the packet was
+				// in flight: an accounted drop, never a routing panic.
+				e.acc.dropsDeadEndpoint++
+				e.flows[p.flow].dropped++
+				continue
+			}
 			next, ok := e.hooks.NextHop(u, int(p.dst))
 			if !ok || next == u {
 				e.acc.dropsNoRoute++
@@ -253,13 +279,26 @@ func (e *Engine) Step(step int) error {
 	return nil
 }
 
+// alive applies the optional liveness hook (nil: everything is alive).
+func (e *Engine) alive(i int) bool {
+	return e.hooks.Alive == nil || e.hooks.Alive(i)
+}
+
 // inject creates one packet on flow fi and enqueues it at the source.
 func (e *Engine) inject(fi int, f *flowState) {
 	e.acc.offered++
 	f.offered++
 	src, dst := f.spec.Src, f.spec.Dst
+	if !e.alive(dst) {
+		// Addressed to a dead or sleeping endpoint: accounted and dropped
+		// at the source, it never consumes queue space or forwarding.
+		e.acc.dropsDeadEndpoint++
+		f.dropped++
+		return
+	}
 	if src == dst {
-		// Degenerate self-flow: delivered instantly, zero hops.
+		// Degenerate self-flow: delivered instantly, zero hops (the
+		// regression contract for Src == Dst flow specs — see validate).
 		p := packet{flow: int32(fi), dst: int32(dst), born: int32(e.step)}
 		e.deliver(p)
 		return
@@ -302,6 +341,37 @@ func (e *Engine) deliver(p packet) {
 	if p.hops > 0 && f.flatDist > 0 {
 		e.acc.stretchSum += float64(p.hops) / float64(f.flatDist)
 		e.acc.stretchCount++
+	}
+}
+
+// Resize grows the data plane to n nodes (new arrivals under churn get
+// empty queues). Shrinking is not supported — node slots are never
+// recycled, dead nodes just stop being routed to.
+func (e *Engine) Resize(n int) {
+	for len(e.queues) < n {
+		e.queues = append(e.queues, ring{})
+		e.queues[len(e.queues)-1].init(e.cfg.QueueCap)
+		e.arrivals = append(e.arrivals, nil)
+		e.load = append(e.load, 0)
+	}
+	if n > e.n {
+		e.n = n
+	}
+}
+
+// FlushNode drops every packet queued at node i, accounting each as a
+// dead-endpoint drop — the fate of a queue lost to a crash or a permanent
+// departure. (A sleeping node's queue is not flushed; it is frozen until
+// the node wakes.)
+func (e *Engine) FlushNode(i int) {
+	if i < 0 || i >= len(e.queues) {
+		return
+	}
+	q := &e.queues[i]
+	for q.count > 0 {
+		p := q.pop()
+		e.acc.dropsDeadEndpoint++
+		e.flows[p.flow].dropped++
 	}
 }
 

@@ -53,9 +53,9 @@ func runSteps(t *testing.T, e *Engine, steps int) {
 // exactly one fate.
 func checkLedger(t *testing.T, s Stats) {
 	t.Helper()
-	if got := s.Delivered + s.DropsQueue + s.DropsNoRoute + s.DropsTTL + s.InFlight; got != s.Offered {
-		t.Fatalf("ledger broken: delivered %d + dropsQ %d + dropsNR %d + dropsTTL %d + inflight %d = %d, offered %d",
-			s.Delivered, s.DropsQueue, s.DropsNoRoute, s.DropsTTL, s.InFlight, got, s.Offered)
+	if got := s.Delivered + s.DropsQueue + s.DropsNoRoute + s.DropsTTL + s.DropsDeadEndpoint + s.InFlight; got != s.Offered {
+		t.Fatalf("ledger broken: delivered %d + dropsQ %d + dropsNR %d + dropsTTL %d + dropsDead %d + inflight %d = %d, offered %d",
+			s.Delivered, s.DropsQueue, s.DropsNoRoute, s.DropsTTL, s.DropsDeadEndpoint, s.InFlight, got, s.Offered)
 	}
 }
 
@@ -268,4 +268,118 @@ func TestBudgetControlsDrainRate(t *testing.T) {
 	if s2.DeliveryRatio <= s1.DeliveryRatio {
 		t.Errorf("delivery ratio budget2 %v <= budget1 %v", s2.DeliveryRatio, s1.DeliveryRatio)
 	}
+}
+
+// TestSelfFlowCountsInLedger is the Src == Dst regression contract in
+// full: every packet of a self-flow is offered AND delivered in the same
+// step, never queued, with zero hops, zero latency, and no stretch
+// sample — and the per-flow ledger agrees with the totals.
+func TestSelfFlowCountsInLedger(t *testing.T) {
+	cfg := Config{Flows: []FlowSpec{
+		{Kind: CBR, Src: 1, Dst: 1, Rate: 1},
+		{Kind: CBR, Src: 0, Dst: 2, Rate: 1}, // a real flow alongside
+	}}
+	e := mustEngine(t, 3, cfg, lineHooks(), 7)
+	runSteps(t, e, 50)
+	s := e.Stats()
+	checkLedger(t, s)
+	self := s.Flows[0]
+	if self.Offered != 50 || self.Delivered != 50 || self.Dropped != 0 {
+		t.Errorf("self-flow ledger: %+v", self)
+	}
+	if s.LatencyP50 != 0 {
+		t.Errorf("latency p50 %d: self-flow latencies must register as 0", s.LatencyP50)
+	}
+	if s.MeanStretch != 1 {
+		t.Errorf("mean stretch %v: self-flows must not contribute stretch samples", s.MeanStretch)
+	}
+	// Every self-flow packet was decided at injection: the only in-flight
+	// packets can belong to the real flow.
+	if s.InFlight > s.Flows[1].Offered-s.Flows[1].Delivered {
+		t.Errorf("self-flow packets entered the forwarding queues: %+v", s)
+	}
+}
+
+// aliveHooks is lineHooks plus a mutable liveness mask.
+func aliveHooks(alive []bool) Hooks {
+	h := lineHooks()
+	h.Alive = func(i int) bool { return alive[i] }
+	return h
+}
+
+// TestDeadEndpointDrops: packets addressed to a dead node are accounted
+// DropsDeadEndpoint at injection; packets already in flight when the
+// endpoint dies are accounted at the next forwarding hop; flows from a
+// dead source pause without offering.
+func TestDeadEndpointDrops(t *testing.T) {
+	alive := []bool{true, true, true, true, true}
+	cfg := Config{Flows: []FlowSpec{
+		{Kind: CBR, Src: 0, Dst: 4, Rate: 1},
+		{Kind: CBR, Src: 3, Dst: 0, Rate: 1},
+	}}
+	e := mustEngine(t, 5, cfg, aliveHooks(alive), 9)
+	runSteps(t, e, 10)
+	before := e.Stats()
+	checkLedger(t, before)
+	if before.DropsDeadEndpoint != 0 {
+		t.Fatalf("dead-endpoint drops with everyone alive: %+v", before)
+	}
+
+	// Kill node 4 (destination of flow 0) and node 3 (source of flow 1).
+	alive[4] = false
+	alive[3] = false
+	e.FlushNode(4)
+	e.FlushNode(3)
+	runSteps(t, e, 10)
+	s := e.Stats()
+	checkLedger(t, s)
+	if s.DropsDeadEndpoint == 0 {
+		t.Fatalf("no dead-endpoint drops after killing the sink: %+v", s)
+	}
+	if got := s.Flows[1].Offered - before.Flows[1].Offered; got != 0 {
+		t.Errorf("dead source kept offering %d packets", got)
+	}
+	if got := s.Flows[0].Offered - before.Flows[0].Offered; got != 10 {
+		t.Errorf("live source offered %d, want 10", got)
+	}
+	// Everything flow 0 offered since the kill must have died as
+	// dead-endpoint drops once in-flight packets drained.
+	if s.InFlight != 0 {
+		t.Errorf("in-flight %d, want 0 (everything addressed to a corpse)", s.InFlight)
+	}
+
+	// Revive the sink: delivery resumes.
+	alive[4] = true
+	alive[3] = true
+	runSteps(t, e, 10)
+	s2 := e.Stats()
+	checkLedger(t, s2)
+	if s2.Flows[0].Delivered <= s.Flows[0].Delivered {
+		t.Errorf("delivery did not resume after wake: %+v", s2.Flows[0])
+	}
+}
+
+// TestResizeAndFlush: growing the plane under churn gives new nodes
+// working queues, and FlushNode accounts a lost queue exactly.
+func TestResizeAndFlush(t *testing.T) {
+	cfg := Config{QueueCap: 8, Flows: []FlowSpec{{Kind: CBR, Src: 0, Dst: 3, Rate: 1}}}
+	e := mustEngine(t, 4, cfg, lineHooks(), 11)
+	runSteps(t, e, 2) // two packets in flight along the line
+	e.Resize(6)       // two new arrivals
+	if len(e.Load()) != 6 {
+		t.Fatalf("load vector has %d entries after Resize(6)", len(e.Load()))
+	}
+	inFlight := e.InFlight()
+	if inFlight == 0 {
+		t.Fatal("expected packets in flight before the flush")
+	}
+	// Node 1 crashes: its queued packets become dead-endpoint drops.
+	q1 := int64(e.queues[1].count)
+	e.FlushNode(1)
+	s := e.Stats()
+	checkLedger(t, s)
+	if s.DropsDeadEndpoint != q1 {
+		t.Errorf("flush accounted %d drops, want %d", s.DropsDeadEndpoint, q1)
+	}
+	e.FlushNode(99) // out of range: safe no-op
 }

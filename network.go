@@ -44,8 +44,20 @@ func (n *Network) Run(steps int) error { return n.engine.Run(steps) }
 // WithStableWindow) and returns the step index at which the last change
 // happened. It fails if maxSteps is exhausted first — with a lossy medium
 // allow a generous budget.
+//
+// While a disruption episode is converging (churn, fault injection) — or
+// a churn schedule is attached, so disruptions can open mid-run — the
+// window is widened to the engine's convergence window (by default
+// max(stable window, cache TTL + 2)): a vanished neighbor only leaves
+// caches after TTL eviction, and declaring stability before that would be
+// premature — and would leave the episode dangling open in
+// ConvergenceStats.
 func (n *Network) Stabilize(maxSteps int) (int, error) {
-	return n.engine.RunUntilStable(maxSteps, n.cfg.stableWindow)
+	win := n.cfg.stableWindow
+	if n.engine.DisruptionOpen() || n.churnAttached {
+		win = max(win, n.engine.ConvergenceWindow())
+	}
+	return n.engine.RunUntilStable(maxSteps, win)
 }
 
 // InjectFaults corrupts each node's protocol state and neighbor caches
@@ -68,6 +80,10 @@ type NodeState struct {
 	ParentID int64
 	Color    int64 // DAG color (equals ID when the DAG is disabled)
 	IsHead   bool
+	// Status is the lifecycle state under churn. For sleeping nodes the
+	// protocol fields are the frozen pre-sleep values; for dead nodes
+	// they are cleared to the self-head cold state.
+	Status NodeStatus
 }
 
 // State returns the current protocol state of node i (by index).
@@ -84,6 +100,7 @@ func (n *Network) State(i int) (NodeState, error) {
 		ParentID: node.ParentID(),
 		Color:    node.TieID(),
 		IsHead:   node.IsHead(),
+		Status:   statusOf(n.engine.Status(i)),
 	}, nil
 }
 
@@ -99,9 +116,14 @@ type Cluster struct {
 // Clusters groups nodes by their current cluster-head choice, sorted by
 // head identifier. In a stabilized network this is the legitimate
 // clustering; mid-convergence it is whatever the nodes currently believe.
+// Dead and sleeping nodes are not listed: only the operating population
+// clusters.
 func (n *Network) Clusters() []Cluster {
 	byHead := make(map[int64][]int64, 8)
 	for i := range n.pts {
+		if n.engine.Status(i) != runtime.StatusAlive {
+			continue
+		}
 		node := n.engine.Node(i)
 		byHead[node.HeadID()] = append(byHead[node.HeadID()], node.ID())
 	}
@@ -141,11 +163,20 @@ func (n *Network) Stats() Stats {
 // head assignment equals the static fixpoint oracle for the current
 // colors. It returns nil for a stabilized network and a descriptive error
 // otherwise — the executable version of the paper's correctness proofs.
+//
+// Under churn the predicate applies to the operating population: dead
+// and sleeping nodes are isolated vertices of the topology, their frozen
+// or cleared state is exempt, and the alive nodes must match the oracle
+// for the surviving graph.
 func (n *Network) Verify() error {
 	snap := n.engine.Snapshot()
+	alive := func(i int) bool { return n.engine.Status(i) == runtime.StatusAlive }
 	// Densities (Lemma 1).
 	want := metric.Density{}.Values(n.g)
 	for i := range snap.Density {
+		if !alive(i) {
+			continue
+		}
 		if diff := snap.Density[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
 			return fmt.Errorf("selfstab: node %d density %v, want %v", i, snap.Density[i], want[i])
 		}
@@ -172,6 +203,13 @@ func (n *Network) Verify() error {
 	}
 	got := n.engine.Assignment()
 	for u := range got.Head {
+		if !alive(u) {
+			// Exempt from the oracle; sanitize to the self-head state an
+			// isolated vertex legitimately holds so the structural
+			// invariants below still apply to the whole assignment.
+			got.Head[u], got.Parent[u] = u, u
+			continue
+		}
 		if got.Head[u] != oracle.Head[u] {
 			return fmt.Errorf("selfstab: node %d heads %d, oracle fixpoint %d", u, got.Head[u], oracle.Head[u])
 		}

@@ -95,6 +95,29 @@ func (n *Network) flatTable() *routing.Flat {
 	return n.flatTab
 }
 
+// flatDistRow returns the flat BFS hop-distance row of src on the current
+// topology (-1: unreachable), memoized per source for one topology epoch.
+// The traffic data plane's stretch baseline queries this once per flow per
+// topology change; without the memo that was one allocating BFS per flow —
+// O(flows × BFS) per mobility or churn event even when many flows share a
+// source. Within an epoch repeated lookups are a map hit and allocate
+// nothing (pinned by TestFlatDistRowMemoized).
+func (n *Network) flatDistRow(src int) []int {
+	if n.distRows == nil {
+		n.distRows = make(map[int][]int)
+		n.distRowsEpoch = n.topoEpoch
+	} else if n.distRowsEpoch != n.topoEpoch {
+		clear(n.distRows)
+		n.distRowsEpoch = n.topoEpoch
+	}
+	row, ok := n.distRows[src]
+	if !ok {
+		row = n.g.Distances(src)
+		n.distRows[src] = row
+	}
+	return row
+}
+
 func (n *Network) indexOfID(id int64) (int, bool) {
 	i, ok := n.id2idx[id]
 	return i, ok

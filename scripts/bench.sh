@@ -2,11 +2,12 @@
 # bench.sh — the repo's performance trajectory harness.
 #
 # Runs go vet and the race-instrumented determinism tests (the safety net
-# for the parallel step engine and the traffic data plane), then
-# benchmarks the core packages with -benchmem and records every sample in
-# BENCH_step.json — plus the routing/traffic suite in BENCH_traffic.json —
-# so successive runs can be compared (benchstat on the raw text, or any
-# tool on the JSON).
+# for the parallel step engine, the traffic data plane and the churn
+# subsystem), then benchmarks the core packages with -benchmem and records
+# every sample in BENCH_step.json — plus the routing/traffic suite in
+# BENCH_traffic.json and the churn suite in BENCH_churn.json — so
+# successive runs can be compared (benchstat on the raw text, or any tool
+# on the JSON).
 #
 # Usage: scripts/bench.sh [count]
 #   count  benchmark repetitions per benchmark (default 5)
@@ -19,13 +20,15 @@ RAW="BENCH_step.txt"
 JSON="BENCH_step.json"
 TRAFFIC_RAW="BENCH_traffic.txt"
 TRAFFIC_JSON="BENCH_traffic.json"
+CHURN_RAW="BENCH_churn.txt"
+CHURN_JSON="BENCH_churn.json"
 
 echo "== go vet" >&2
 go vet ./...
 
 echo "== race-instrumented determinism tests" >&2
-go test -race -run 'TestParallelDeterminism|TestParallelMatchesSequentialStabilization' ./internal/runtime
-go test -race -run 'TestTrafficDeterminism' .
+go test -race -run 'TestParallelDeterminism|TestParallelMatchesSequentialStabilization|TestEngineChurnParallelDeterminism' ./internal/runtime
+go test -race -run 'TestTrafficDeterminism|TestChurnDeterminism' .
 
 echo "== benchmarks (count=$COUNT)" >&2
 go test -run '^$' -bench . -benchmem -count "$COUNT" "${PKGS[@]}" | tee "$RAW"
@@ -33,6 +36,10 @@ go test -run '^$' -bench . -benchmem -count "$COUNT" "${PKGS[@]}" | tee "$RAW"
 echo "== traffic + routing benchmarks (count=$COUNT)" >&2
 go test -run '^$' -bench 'BenchmarkRouteCached|BenchmarkRouteRebuild|BenchmarkTrafficStep1000' \
     -benchmem -count "$COUNT" . | tee "$TRAFFIC_RAW"
+
+echo "== churn benchmarks (count=$COUNT)" >&2
+go test -run '^$' -bench 'BenchmarkChurnStep1000' \
+    -benchmem -count "$COUNT" . | tee "$CHURN_RAW"
 
 # bench_to_json converts benchmark lines into a JSON array. Lines look like:
 #   BenchmarkStep1000   232   4536778 ns/op   64 B/op   2 allocs/op
@@ -62,5 +69,6 @@ END { print "\n]" }
 
 bench_to_json "$RAW" > "$JSON"
 bench_to_json "$TRAFFIC_RAW" > "$TRAFFIC_JSON"
+bench_to_json "$CHURN_RAW" > "$CHURN_JSON"
 
-echo "== wrote $RAW, $JSON, $TRAFFIC_RAW and $TRAFFIC_JSON" >&2
+echo "== wrote $RAW, $JSON, $TRAFFIC_RAW, $TRAFFIC_JSON, $CHURN_RAW and $CHURN_JSON" >&2

@@ -25,6 +25,16 @@
 // the per-node load concentration the hierarchy creates on heads and
 // gateways.
 //
+// The population itself is dynamic: AddNodes, RemoveNodes, CrashNodes,
+// SleepNodes and WakeNodes change the node set at runtime, and
+// AttachChurn drives a seeded schedule of Poisson arrivals, departures,
+// crashes and duty-cycling as a pre-step phase of the same loop. Every
+// disruption is tracked in the convergence ledger (ConvergenceStats):
+// steps until the network re-stabilized and how far the change spread in
+// hops — the paper's self-stabilization and locality claims, measured
+// per event. The traffic plane survives churn: packets addressed to dead
+// or sleeping endpoints become accounted DropsDeadEndpoint drops.
+//
 // Minimal use:
 //
 //	net, err := selfstab.NewPoissonNetwork(1000, selfstab.WithRange(0.1))
@@ -65,10 +75,19 @@
 //     colors) come from per-node streams, so results are bit-identical
 //     for a fixed seed at any parallelism — the determinism test in
 //     internal/runtime pins this.
-//   - Incremental topology under mobility. SetPositions keeps a dense
-//     uniform grid index (topology.GridIndex) alive across calls and
-//     recomputes only moved nodes' cells and edges rather than
+//   - Incremental topology under mobility and churn. SetPositions keeps
+//     a dense uniform grid index (topology.GridIndex) alive across calls
+//     and recomputes only moved nodes' cells and edges rather than
 //     rebuilding the unit-disk graph, allocation-free at steady state.
+//     Node churn uses the same index incrementally: Append wires a new
+//     node's edges in O(local density), Deactivate/Reactivate detach and
+//     reattach a slot's edges with their capacity retained, so the churn
+//     pre-step phase allocates nothing at steady state for
+//     crash/sleep/wake churn (pinned by TestChurnPreStepAllocationFree;
+//     BenchmarkChurnStep1000 measures a 1000-node step under ~1%/step
+//     churn). Per-source flat-distance rows for the traffic stretch
+//     baseline are memoized per topology epoch — one BFS per source per
+//     topology change, not one per flow.
 //   - Epoch-cached routing tables. The hierarchical table behind Route,
 //     RoutingState and the traffic data plane is rebuilt only when the
 //     engine's epoch moved (a state-changing step, fault injection, a
@@ -315,9 +334,20 @@ type Network struct {
 	routeTabEpoch uint64
 	flatTab       *routing.Flat
 	flatTabEpoch  uint64
-	topoEpoch     uint64 // bumped by SetPositions
+	topoEpoch     uint64 // bumped by SetPositions and edge-changing churn
+
+	// Memoized flat BFS distance rows (the path-stretch baseline the
+	// traffic plane queries per flow), keyed by source and valid for one
+	// topology epoch: one BFS per source per topology change instead of
+	// one per flow.
+	distRows      map[int][]int
+	distRowsEpoch uint64
 
 	traffic *traffic.Engine // attached data plane (nil until AttachTraffic)
+
+	nextID        int64       // next identifier handed to a node added at runtime
+	churn         *churnState // attached churn schedule (nil until AttachChurn)
+	churnAttached bool        // schedule currently driving the pre-step phase
 }
 
 // NewNetwork deploys nodes at explicit positions in the unit square.
@@ -469,6 +499,12 @@ func buildWith(cfg config, pts []geom.Point, src *rng.Source) (*Network, error) 
 		return nil, err
 	}
 	n.engine = engine
+	engine.SetConvergenceWindow(max(cfg.stableWindow, cfg.cacheTTL+2))
+	for _, id := range n.ids {
+		if id >= n.nextID {
+			n.nextID = id + 1
+		}
+	}
 	return n, nil
 }
 

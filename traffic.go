@@ -3,6 +3,7 @@ package selfstab
 import (
 	"fmt"
 
+	"selfstab/internal/runtime"
 	"selfstab/internal/traffic"
 )
 
@@ -120,10 +121,16 @@ func (n *Network) AttachTraffic(cfg TrafficConfig) error {
 			}
 			return next, true
 		},
+		// Dist serves the path-stretch baseline from per-source memoized
+		// BFS rows (see flatDistRow): flows sharing a source share one BFS
+		// per topology epoch instead of running one each.
 		Dist: func(src, dst int) int {
-			return n.g.Distances(src)[dst]
+			return n.flatDistRow(src)[dst]
 		},
 		TopoEpoch: func() uint64 { return n.topoEpoch },
+		Alive: func(i int) bool {
+			return n.engine.Status(i) == runtime.StatusAlive
+		},
 	}
 	t, err := traffic.New(len(n.pts), tc, hooks, n.src.Split("traffic"))
 	if err != nil {
@@ -199,8 +206,8 @@ type FlowTrafficStats struct {
 }
 
 // TrafficStats is the data plane's ledger. The accounting identity
-// Offered == Delivered + DropsQueue + DropsNoRoute + DropsTTL + InFlight
-// holds at every step boundary.
+// Offered == Delivered + DropsQueue + DropsNoRoute + DropsTTL +
+// DropsDeadEndpoint + InFlight holds at every step boundary.
 type TrafficStats struct {
 	// Steps is how many steps the data plane itself has run (steps taken
 	// since AttachTraffic, excluding any detached stretches) — the right
@@ -215,6 +222,11 @@ type TrafficStats struct {
 	DropsQueue   int64 // queue overflow (either discipline)
 	DropsNoRoute int64 // routing had no next hop (partition or transient assignment)
 	DropsTTL     int64 // hop budget exceeded
+	// DropsDeadEndpoint counts packets addressed to a dead or sleeping
+	// node — at injection or discovered mid-flight — plus packets lost
+	// with the queue of a crashed or removed node. Under churn the data
+	// plane never errors on a vanished endpoint; it accounts it here.
+	DropsDeadEndpoint int64
 
 	// DeliveryRatio is Delivered over packets with a decided fate
 	// (Offered - InFlight).
@@ -254,28 +266,36 @@ func (n *Network) TrafficStats() (TrafficStats, error) {
 	}
 	ts := n.traffic.Stats()
 	out := TrafficStats{
-		Steps:         ts.Steps,
-		Offered:       ts.Offered,
-		Delivered:     ts.Delivered,
-		InFlight:      ts.InFlight,
-		DropsQueue:    ts.DropsQueue,
-		DropsNoRoute:  ts.DropsNoRoute,
-		DropsTTL:      ts.DropsTTL,
-		DeliveryRatio: ts.DeliveryRatio,
-		MeanHops:      ts.MeanHops,
-		MeanStretch:   ts.MeanStretch,
-		LatencyP50:    ts.LatencyP50,
-		LatencyP90:    ts.LatencyP90,
-		LatencyP99:    ts.LatencyP99,
-		LatencyMax:    ts.LatencyMax,
-		MeanLoad:      ts.MeanLoad,
-		MaxLoad:       ts.MaxLoad,
+		Steps:             ts.Steps,
+		Offered:           ts.Offered,
+		Delivered:         ts.Delivered,
+		InFlight:          ts.InFlight,
+		DropsQueue:        ts.DropsQueue,
+		DropsNoRoute:      ts.DropsNoRoute,
+		DropsTTL:          ts.DropsTTL,
+		DropsDeadEndpoint: ts.DropsDeadEndpoint,
+		DeliveryRatio:     ts.DeliveryRatio,
+		MeanHops:          ts.MeanHops,
+		MeanStretch:       ts.MeanStretch,
+		LatencyP50:        ts.LatencyP50,
+		LatencyP90:        ts.LatencyP90,
+		LatencyP99:        ts.LatencyP99,
+		LatencyMax:        ts.LatencyMax,
+		MeanLoad:          ts.MeanLoad,
+		MaxLoad:           ts.MaxLoad,
 	}
+	// Head accounting over the operating population only: a dead slot's
+	// state is reset to self-head and a sleeping node's is frozen, so
+	// counting them would inflate the head fraction under churn.
 	load := n.traffic.Load()
 	var total, headLoad int64
-	heads := 0
+	heads, operating := 0, 0
 	for i, l := range load {
 		total += l
+		if n.engine.Status(i) != runtime.StatusAlive {
+			continue
+		}
+		operating++
 		if n.engine.Node(i).IsHead() {
 			heads++
 			headLoad += l
@@ -284,7 +304,9 @@ func (n *Network) TrafficStats() (TrafficStats, error) {
 	if total > 0 {
 		out.HeadLoadShare = float64(headLoad) / float64(total)
 	}
-	out.HeadFraction = float64(heads) / float64(len(load))
+	if operating > 0 {
+		out.HeadFraction = float64(heads) / float64(operating)
+	}
 	out.PerFlow = make([]FlowTrafficStats, len(ts.Flows))
 	for i, f := range ts.Flows {
 		out.PerFlow[i] = FlowTrafficStats{
