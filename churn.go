@@ -216,6 +216,9 @@ func (n *Network) addNodeAt(p geom.Point) (int64, error) {
 	if n.traffic != nil {
 		n.traffic.Resize(len(n.pts))
 	}
+	if n.energy != nil {
+		n.energy.Resize(len(n.pts)) // arrivals power up with a full battery
+	}
 	if n.churn != nil {
 		n.churn.sleepUntil = append(n.churn.sleepUntil, 0)
 	}

@@ -455,3 +455,55 @@ func TestStabilizeWidensWindowWhileChurnAttached(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStatsOperatingPopulationUnderChurn is the ROADMAP regression: Stats
+// and BuildHierarchy must restrict themselves to the operating population
+// — a removed or sleeping node keeps its dense index slot but must not
+// surface as a phantom singleton cluster.
+func TestStatsOperatingPopulationUnderChurn(t *testing.T) {
+	net := churnNet(t, 100, 47)
+	base := net.Stats()
+	baseClusters := len(net.Clusters())
+	if base.Clusters != baseClusters {
+		t.Fatalf("pre-churn Stats.Clusters %d != len(Clusters()) %d", base.Clusters, baseClusters)
+	}
+
+	ids := net.IDs()
+	if err := net.RemoveNodes(ids[0], ids[1], ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SleepNodes(ids[3], ids[4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(3000); err != nil {
+		t.Fatal(err)
+	}
+
+	s := net.Stats()
+	live := len(net.Clusters())
+	if s.Clusters != live {
+		t.Errorf("Stats.Clusters %d counts dead/sleeping slots (live clustering has %d)", s.Clusters, live)
+	}
+
+	levels, err := net.BuildHierarchy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := map[int64]bool{ids[0]: true, ids[1]: true, ids[2]: true, ids[3]: true, ids[4]: true}
+	covered := 0
+	for _, c := range levels[0].Clusters {
+		for _, m := range c.Members {
+			if gone[m] {
+				t.Errorf("dead/sleeping node %d clustered at hierarchy level 0", m)
+			}
+			covered++
+		}
+	}
+	alive, _, _ := net.Population()
+	if covered != alive {
+		t.Errorf("hierarchy level 0 covers %d nodes, operating population is %d", covered, alive)
+	}
+	if len(levels[0].Clusters) != live {
+		t.Errorf("hierarchy level 0 has %d clusters, live clustering has %d", len(levels[0].Clusters), live)
+	}
+}

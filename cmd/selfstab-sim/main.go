@@ -8,6 +8,7 @@
 //	selfstab-sim -exp all -runs 30
 //	selfstab-sim traffic -nodes 1000 -steps 500 -flows 100 -scenario static
 //	selfstab-sim churn -nodes 1000 -steps 500 -scenario steady
+//	selfstab-sim energy -nodes 1000 -steps 500 -scenario rotation
 //
 // Experiments: table1, table2, table3, table4, table5, mobility,
 // stabilization, gamma, metrics, orders, energy, daemons, scalability,
@@ -22,6 +23,12 @@
 // crashes, duty-cycling — under a steady, burst or blackout scenario and
 // reports the convergence ledger (per-disruption steps-to-restabilize and
 // affected radius) plus the traffic ledger when flows are attached.
+//
+// The energy subcommand attaches per-node batteries drained by role and
+// traffic and runs a lifetime (time to first depletion, with depletions
+// feeding the convergence ledger), rotation (plain vs energy-aware head
+// election on the same seed) or sleep-savings (duty-cycled vs always-on
+// drain) scenario.
 //
 // An unknown subcommand, experiment, scenario or workload name exits
 // non-zero with a usage line on stderr.
@@ -49,7 +56,7 @@ type renderer interface{ Render() string }
 
 // usage is the one-line surface summary attached to every bad-name error,
 // so a typo exits non-zero with actionable help on stderr.
-const usage = "usage: selfstab-sim [-exp <experiment>] [flags] | selfstab-sim traffic [flags] | selfstab-sim churn [flags]"
+const usage = "usage: selfstab-sim [-exp <experiment>] [flags] | selfstab-sim traffic [flags] | selfstab-sim churn [flags] | selfstab-sim energy [flags]"
 
 func usageErrorf(format string, a ...any) error {
 	return fmt.Errorf(format+"\n"+usage, a...)
@@ -62,8 +69,10 @@ func run(args []string, out io.Writer) error {
 			return runTraffic(args[1:], out)
 		case "churn":
 			return runChurn(args[1:], out)
+		case "energy":
+			return runEnergy(args[1:], out)
 		default:
-			return usageErrorf("unknown subcommand %q (want traffic or churn)", args[0])
+			return usageErrorf("unknown subcommand %q (want traffic, churn or energy)", args[0])
 		}
 	}
 	fs := flag.NewFlagSet("selfstab-sim", flag.ContinueOnError)

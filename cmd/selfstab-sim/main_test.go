@@ -135,6 +135,7 @@ func TestRunUnknownNamesExitNonZero(t *testing.T) {
 		{"unknown traffic scenario", []string{"traffic", "-scenario", "nope"}, "unknown traffic scenario"},
 		{"unknown traffic workload", []string{"traffic", "-workload", "nope"}, "unknown workload"},
 		{"unknown churn scenario", []string{"churn", "-scenario", "nope"}, "unknown churn scenario"},
+		{"unknown energy scenario", []string{"energy", "-scenario", "nope"}, "unknown energy scenario"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -203,5 +204,64 @@ func TestRunChurnBadRatesFailFast(t *testing.T) {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("run(%v) accepted an invalid churn config", args)
 		}
+	}
+}
+
+// TestRunEnergyScenarios drives the energy subcommand end to end on small
+// networks.
+func TestRunEnergyScenarios(t *testing.T) {
+	for _, args := range [][]string{
+		{"energy", "-nodes", "100", "-steps", "60", "-sources", "10", "-scenario", "lifetime", "-capacity", "0.2"},
+		{"energy", "-nodes", "100", "-steps", "60", "-sources", "10", "-scenario", "rotation", "-capacity", "0.2"},
+		{"energy", "-nodes", "100", "-steps", "60", "-sources", "0", "-scenario", "sleep-savings"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Errorf("%v: %v", args, err)
+			continue
+		}
+		out := buf.String()
+		scenario := ""
+		for i, a := range args {
+			if a == "-scenario" {
+				scenario = args[i+1]
+			}
+		}
+		var wants []string
+		switch scenario {
+		case "lifetime":
+			wants = []string{"first death", "drained", "episodes"}
+		case "rotation":
+			wants = []string{"plain density", "energy x density", "first death"}
+		case "sleep-savings":
+			wants = []string{"always awake", "duty-cycled", "remaining"}
+		}
+		for _, want := range wants {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v output missing %q:\n%s", args, want, out)
+			}
+		}
+	}
+}
+
+// TestRunEnergyBadArgs: malformed names and magnitudes fail fast with the
+// usage line, before any network is built.
+func TestRunEnergyBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"energy", "-scenario", "nope"},
+		{"energy", "-capacity", "-1"},
+		{"energy", "-capacity", "0"},
+		{"energy", "-sources", "-3"},
+		{"energy", "-levels", "1"},
+		{"energy", "-levels", "2000"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) accepted an invalid energy config", args)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"energy", "-steps", "abc"}, &buf); err == nil {
+		t.Error("bad energy flag accepted")
 	}
 }

@@ -1,0 +1,258 @@
+package selfstab
+
+import (
+	"fmt"
+
+	"selfstab/internal/energy"
+	"selfstab/internal/runtime"
+)
+
+// EnergyConfig parameterizes the battery model attached to a Network.
+//
+// The five costs form one schedule: leave them ALL zero to use the
+// reference schedule shared with the offline energy experiment
+// (internal/energy.DefaultCosts — the per-field values noted below), or
+// set any of them to specify the schedule yourself, in which case the
+// fields you leave zero really cost zero (an explicit free term, e.g.
+// RxCost 0 for a receive-free radio model, stays expressible).
+type EnergyConfig struct {
+	// Capacity is every node's initial battery in energy units. Default 1.
+	Capacity float64
+
+	// IdleHeadCost is the per-step drain of serving as a cluster-head
+	// (beaconing, aggregation, staying receive-ready for the cluster).
+	// Reference schedule: 0.002.
+	IdleHeadCost float64
+	// IdleMemberCost is the per-step drain of an ordinary awake node.
+	// Reference schedule: 0.0002.
+	IdleMemberCost float64
+	// SleepCost is the per-step drain while duty-cycled off — what
+	// SleepNodes and the churn schedule's duty-cycling actually save.
+	// Reference schedule: 0.00002.
+	SleepCost float64
+	// TxCost is the drain per transmitted data packet (one forwarding
+	// event of the attached traffic plane). Reference schedule: 0.0005.
+	TxCost float64
+	// RxCost is the drain per received data packet. Reference schedule:
+	// 0.0002.
+	RxCost float64
+
+	// Rotation enables energy-aware head rotation: each node's shared
+	// density is scaled by its quantized remaining-energy fraction, so a
+	// draining head loses the ≺ election online and the burden rotates —
+	// the paper's Section 6 future work running live.
+	Rotation bool
+	// RotationLevels quantizes the rotation scale: re-elections trigger
+	// only when a battery crosses a 1/RotationLevels capacity boundary,
+	// so the clustering is perturbed at level crossings, not every step.
+	// Default 8.
+	RotationLevels int
+}
+
+// AttachEnergy installs a per-node battery model that runs as a post-step
+// phase of every subsequent Δ(τ) step (Step, Run and Stabilize all drive
+// it), after the traffic phase of the same step. Every operating node
+// pays a role-dependent idle cost (head vs member, read off the live
+// clustering), per-packet tx/rx costs driven by the attached data plane's
+// counters (idle-only when no traffic is attached), and a reduced sleep
+// cost while duty-cycled. A battery that crosses zero kills its node
+// through the churn machinery: the depletion becomes a disruption episode
+// in ConvergenceStats with steps-to-restabilize and affected radius, its
+// queued packets become dead-endpoint drops, and EnergyStats records the
+// death. Requires WithCacheTTL, like churn: a depleted node must age out
+// of its neighbors' caches.
+//
+// With Rotation set, the battery level also feeds back into head
+// election (see EnergyConfig.Rotation); Verify remains exact — it checks
+// the scaled densities against the correspondingly scaled oracle.
+//
+// Attaching replaces any previously attached model and resets its
+// statistics; batteries restart full.
+func (n *Network) AttachEnergy(cfg EnergyConfig) error {
+	if n.cfg.cacheTTL == 0 {
+		return fmt.Errorf("selfstab: energy requires cache eviction — construct the network with WithCacheTTL")
+	}
+	ec := energy.Config{
+		Capacity: cfg.Capacity,
+		Costs: energy.Costs{
+			IdleHead:   cfg.IdleHeadCost,
+			IdleMember: cfg.IdleMemberCost,
+			Sleep:      cfg.SleepCost,
+			Tx:         cfg.TxCost,
+			Rx:         cfg.RxCost,
+		},
+		Rotation: cfg.Rotation,
+		Levels:   cfg.RotationLevels,
+	}
+	hooks := energy.Hooks{
+		Alive: func(i int) bool {
+			return n.engine.Status(i) == runtime.StatusAlive
+		},
+		Sleeping: func(i int) bool {
+			return n.engine.Status(i) == runtime.StatusSleeping
+		},
+		IsHead: func(i int) bool {
+			return n.engine.Node(i).IsHead()
+		},
+		// The tx/rx hooks read whatever data plane is attached at charge
+		// time, so traffic may be attached before or after the batteries.
+		Tx: func(i int) int64 {
+			if n.traffic == nil {
+				return 0
+			}
+			return n.traffic.LoadAt(i)
+		},
+		Rx: func(i int) int64 {
+			if n.traffic == nil {
+				return 0
+			}
+			return n.traffic.RecvAt(i)
+		},
+		Kill: n.removeNodeIdx,
+		Scale: func(i int, s float64) error {
+			return n.engine.SetDensityScale(i, s)
+		},
+	}
+	eng, err := energy.New(len(n.pts), ec, hooks)
+	if err != nil {
+		return err
+	}
+	if n.energy != nil && n.energy.Rotation() {
+		// A replaced rotating model leaves its scales behind; reset them
+		// so the fresh model (whose full batteries mean scale 1 on every
+		// node) or the plain-density election starts from a clean slate.
+		for i := range n.pts {
+			if err := n.engine.SetDensityScale(i, 1); err != nil {
+				return err
+			}
+		}
+	}
+	n.energy = eng
+	n.energyOn = true
+	n.installStepPhases()
+	return nil
+}
+
+// DetachEnergy removes the battery model; subsequent steps drain nothing.
+// The final statistics remain readable via EnergyStats until the next
+// AttachEnergy. Rotation scales currently applied stay in force (the
+// frozen battery levels keep shaping the election); re-attach or use a
+// non-rotating model to clear them.
+func (n *Network) DetachEnergy() {
+	n.energyOn = false
+	n.installStepPhases()
+}
+
+// stepPhases is the engine post-step hook: the traffic data plane moves
+// packets, then the battery model charges that same step's activity (and
+// may kill depleted nodes through the churn machinery). Both run
+// sequentially on the engine's goroutine, so their ledgers stay
+// bit-identical at any parallelism.
+func (n *Network) stepPhases(step int) error {
+	if n.trafficOn {
+		if err := n.traffic.Step(step); err != nil {
+			return err
+		}
+	}
+	if n.energyOn {
+		if err := n.energy.Step(step); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// installStepPhases (re)installs the post-step dispatcher, or clears it
+// when no phase is attached.
+func (n *Network) installStepPhases() {
+	if n.trafficOn || n.energyOn {
+		n.engine.SetPostStep(n.stepPhases)
+		return
+	}
+	n.engine.SetPostStep(nil)
+}
+
+// EnergyStats is the battery ledger of the attached energy model. The
+// drain identity DrainHead + DrainMember + DrainSleep + DrainTx + DrainRx
+// == TotalDrain holds at every step boundary. For a fixed seed it is
+// bit-identical at any parallelism (pinned by TestEnergyDeterminism).
+type EnergyStats struct {
+	// Steps is how many steps the battery model itself has run.
+	Steps int
+
+	// FirstDeathStep is the completed-step count at which the first
+	// battery depleted — the network-lifetime metric. -1 while every
+	// battery is above zero.
+	FirstDeathStep int
+	// Depletions counts batteries that crossed zero; each one was killed
+	// through the churn machinery and has a matching disruption episode.
+	Depletions int
+
+	// Per-cause drain breakdown in energy units, summed over all nodes.
+	DrainHead   float64
+	DrainMember float64
+	DrainSleep  float64
+	DrainTx     float64
+	DrainRx     float64
+	TotalDrain  float64
+
+	// Role exposure in node-steps; HeadShare is HeadSteps over the awake
+	// total — the burden concentration rotation spreads.
+	HeadSteps   int64
+	MemberSteps int64
+	SleepSteps  int64
+	HeadShare   float64
+
+	// Remaining-energy summary over the operating population, as
+	// fractions of capacity, plus the alive-energy decile histogram
+	// (Histogram[k]: fractions in [k/10, (k+1)/10), full clamps to 9).
+	MeanRemaining float64
+	MinRemaining  float64
+	Histogram     [10]int64
+
+	// Rotation reports whether energy-aware head rotation was active.
+	Rotation bool
+}
+
+// EnergyStats snapshots the attached battery model's ledger. It fails if
+// AttachEnergy was never called.
+func (n *Network) EnergyStats() (EnergyStats, error) {
+	if n.energy == nil {
+		return EnergyStats{}, fmt.Errorf("selfstab: no energy model attached")
+	}
+	s := n.energy.Stats()
+	return EnergyStats{
+		Steps:          s.Steps,
+		FirstDeathStep: s.FirstDeathStep,
+		Depletions:     s.Depletions,
+		DrainHead:      s.DrainHead,
+		DrainMember:    s.DrainMember,
+		DrainSleep:     s.DrainSleep,
+		DrainTx:        s.DrainTx,
+		DrainRx:        s.DrainRx,
+		TotalDrain:     s.TotalDrain,
+		HeadSteps:      s.HeadSteps,
+		MemberSteps:    s.MemberSteps,
+		SleepSteps:     s.SleepSteps,
+		HeadShare:      s.HeadShare,
+		MeanRemaining:  s.MeanRemaining,
+		MinRemaining:   s.MinRemaining,
+		Histogram:      s.Histogram,
+		Rotation:       s.Rotation,
+	}, nil
+}
+
+// EnergyRemaining returns each node's remaining battery as a fraction of
+// capacity, indexed like Positions (0 for depleted nodes) — the raw
+// material for lifetime analysis beyond the summary in EnergyStats.
+func (n *Network) EnergyRemaining() ([]float64, error) {
+	if n.energy == nil {
+		return nil, fmt.Errorf("selfstab: no energy model attached")
+	}
+	out := make([]float64, len(n.pts))
+	cap := n.energy.Capacity()
+	for i := range out {
+		out[i] = n.energy.Remaining(i) / cap
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package selfstab
+
+import "testing"
+
+// BenchmarkEnergyStep1000 is the energy headline: one Δ(τ) step of a
+// 1000-node network carrying a convergecast workload while the battery
+// model charges every node's role and radio activity, with energy-aware
+// rotation enabled so level crossings keep perturbing the election. The
+// battery pass itself must add zero steady-state allocations (see
+// TestEnergyPhaseAllocationFree); compare against BenchmarkTrafficStep1000
+// for the cost of the accounting itself.
+func BenchmarkEnergyStep1000(b *testing.B) {
+	net, err := NewRandomNetwork(1000,
+		WithSeed(1),
+		WithRange(0.1),
+		WithCacheTTL(8),
+		WithStableWindow(10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.Stabilize(5000); err != nil {
+		b.Fatal(err)
+	}
+	ids := net.IDs()
+	if err := net.AttachTraffic(TrafficConfig{
+		QueueCap: 32,
+		Budget:   2,
+		Flows:    []Flow{HotspotFlow(ids[0], 80, 0.2)},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.AttachEnergy(EnergyConfig{
+		Capacity: 1000, // nobody depletes inside the measurement window
+		Rotation: true,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	// Warm up: grow every reusable scratch and install the scale array.
+	if err := net.Run(60); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	es, err := net.EnergyStats()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(es.TotalDrain/float64(es.Steps), "drain/step")
+}

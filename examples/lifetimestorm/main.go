@@ -1,0 +1,141 @@
+// Lifetimestorm: the energy subsystem at the paper's scale — batteries,
+// traffic-coupled drain, depletion-driven churn and energy-aware head
+// rotation, closed into one loop. A 1000-node network carries a
+// many-to-one convergecast (the classic sensor-field workload) while
+// every node pays for its role and its radio:
+//
+//  1. burn-down: plain density heads, batteries drain until relays around
+//     the sink start dying — each depletion is a real departure that the
+//     clustering must re-stabilize around, measured by the convergence
+//     ledger;
+//  2. rotation: the identical seed with energy-aware head election — the
+//     shared density is scaled by the quantized remaining battery, so
+//     draining heads lose the ≺ election online and the first death moves
+//     out;
+//  3. duty-cycle: a seeded sleep schedule powers nodes down and back up
+//     mid-run, and the sleep cost shows up as saved battery.
+//
+// Each scenario reports the energy ledger (first-death step, per-cause
+// drain, alive-energy deciles) next to the convergence and traffic
+// ledgers the drain feeds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfstab"
+)
+
+const (
+	nodes      = 1000
+	steps      = 500
+	sources    = 80
+	rate       = 0.2
+	radioRange = 0.1
+	capacity   = 0.8
+	seed       = 2026
+)
+
+func main() {
+	fmt.Printf("lifetimestorm: %d nodes x %d steps, %d-source convergecast, %.1f-unit batteries\n\n",
+		nodes, steps, sources, capacity)
+
+	runScenario("burn-down (plain density heads)", false, func(net *selfstab.Network) error {
+		return net.Run(steps)
+	})
+
+	runScenario("rotation (energy-aware heads, same seed)", true, func(net *selfstab.Network) error {
+		return net.Run(steps)
+	})
+
+	runScenario("duty-cycle (seeded sleep schedule)", false, func(net *selfstab.Network) error {
+		if err := net.AttachChurn(selfstab.ChurnConfig{
+			SleepRate:  8,
+			SleepSteps: 25,
+		}); err != nil {
+			return err
+		}
+		if err := net.Run(steps); err != nil {
+			return err
+		}
+		net.DetachChurn()
+		return nil
+	})
+}
+
+// runScenario builds a fresh stabilized network carrying the convergecast
+// workload with batteries attached, hands the policy to drive, then lets
+// the survivors re-stabilize and prints all three ledgers.
+func runScenario(name string, rotation bool, drive func(*selfstab.Network) error) {
+	net, err := selfstab.NewPoissonNetwork(nodes,
+		selfstab.WithSeed(seed),
+		selfstab.WithRange(radioRange),
+		selfstab.WithCacheTTL(8),
+		selfstab.WithStableWindow(10),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := net.Stabilize(5000); err != nil {
+		log.Fatal(err)
+	}
+	ids := net.IDs()
+	if err := net.AttachTraffic(selfstab.TrafficConfig{
+		QueueCap: 32,
+		Budget:   2,
+		Flows:    []selfstab.Flow{selfstab.HotspotFlow(ids[0], sources, rate)},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.AttachEnergy(selfstab.EnergyConfig{
+		Capacity: capacity,
+		Rotation: rotation,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := drive(net); err != nil {
+		log.Fatal(err)
+	}
+	// Freeze the drain, then let the survivors settle so the final
+	// depletion episode closes into the convergence ledger.
+	net.DetachEnergy()
+	if _, err := net.Stabilize(20000); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		log.Fatalf("%s: network did not re-stabilize legitimately: %v", name, err)
+	}
+
+	es, err := net.EnergyStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts, err := net.TrafficStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := net.ConvergenceStats()
+	alive, sleeping, dead := net.Population()
+
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  population: %d slots — %d alive, %d sleeping, %d dead; %d clusters, Verify ok\n",
+		net.N(), alive, sleeping, dead, len(net.Clusters()))
+	first := "no battery depleted"
+	if es.FirstDeathStep >= 0 {
+		first = fmt.Sprintf("first death at step %d", es.FirstDeathStep)
+	}
+	fmt.Printf("  energy: %s, %d depletions; drained %.1f (head %.1f, member %.1f, sleep %.2f, tx %.1f, rx %.1f); mean remaining %.3f\n",
+		first, es.Depletions, es.TotalDrain, es.DrainHead, es.DrainMember,
+		es.DrainSleep, es.DrainTx, es.DrainRx, es.MeanRemaining)
+	fmt.Printf("  energy deciles: %v\n", es.Histogram)
+	var ops int
+	for _, d := range cs.Disruptions {
+		ops += d.Ops
+	}
+	fmt.Printf("  convergence: %d episodes (%d disruptions), restabilize mean %.1f / max %d steps\n",
+		len(cs.Disruptions), ops, cs.MeanStepsToStabilize, cs.MaxStepsToStabilize)
+	fmt.Printf("  traffic: delivery %.3f (%d/%d decided), drops: queue %d, no-route %d, ttl %d, dead-endpoint %d\n\n",
+		ts.DeliveryRatio, ts.Delivered, ts.Offered-ts.InFlight,
+		ts.DropsQueue, ts.DropsNoRoute, ts.DropsTTL, ts.DropsDeadEndpoint)
+}

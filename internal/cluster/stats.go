@@ -30,17 +30,35 @@ type Stats struct {
 	Sizes []int
 }
 
-// ComputeStats measures a on g.
+// ComputeStats measures a on g over every node.
 func (a *Assignment) ComputeStats(g *topology.Graph) Stats {
+	return a.ComputeStatsOn(g, nil)
+}
+
+// ComputeStatsOn measures a on g restricted to the operating nodes
+// (operating == nil means every node). Non-operating slots — dead or
+// sleeping nodes under churn, which hold their dense indices forever —
+// are excluded entirely: they form no singleton clusters, anchor no
+// parent chains and never count as members. A head or parent reference
+// that does not resolve to an operating node (transient states, a head
+// that just died) degrades to self, exactly like the render sanitizer.
+func (a *Assignment) ComputeStatsOn(g *topology.Graph, operating []bool) Stats {
 	n := g.N()
 	var s Stats
 	if n == 0 {
 		return s
 	}
+	on := func(u int) bool { return operating == nil || operating[u] }
 
 	members := make(map[int][]int, 8)
 	for u := 0; u < n; u++ {
+		if !on(u) {
+			continue
+		}
 		h := a.Head[u]
+		if h < 0 || h >= n || !on(h) {
+			h = u
+		}
 		members[h] = append(members[h], u)
 	}
 	s.NumClusters = len(members)
@@ -67,10 +85,15 @@ func (a *Assignment) ComputeStats(g *topology.Graph) Stats {
 		}
 		s.Sizes = append(s.Sizes, len(us))
 	}
+	if len(members) == 0 {
+		return s // no operating node: nothing to measure
+	}
 	s.MeanHeadEccentricity = float64(eccSum) / float64(len(members))
 	sort.Sort(sort.Reverse(sort.IntSlice(s.Sizes)))
 
-	// Parent-chain lengths.
+	// Parent-chain lengths. A chain ends at a self-parent — or at a
+	// reference that leaves the operating population, which a surviving
+	// node treats as being its own root.
 	depth := make([]int, n)
 	for i := range depth {
 		depth[i] = -1
@@ -80,18 +103,22 @@ func (a *Assignment) ComputeStats(g *topology.Graph) Stats {
 		if depth[u] >= 0 {
 			return depth[u]
 		}
-		if a.Parent[u] == u {
+		p := a.Parent[u]
+		if p == u || p < 0 || p >= n || !on(p) {
 			depth[u] = 0
 			return 0
 		}
 		// Mark to guard against accidental cycles (must not happen for a
 		// valid assignment; a cycle would recurse forever otherwise).
 		depth[u] = 0
-		depth[u] = chainLen(a.Parent[u]) + 1
+		depth[u] = chainLen(p) + 1
 		return depth[u]
 	}
 	sum, count := 0, 0
 	for u := 0; u < n; u++ {
+		if !on(u) {
+			continue
+		}
 		d := chainLen(u)
 		if d > s.MaxTreeLength {
 			s.MaxTreeLength = d

@@ -1,0 +1,357 @@
+// Package energy is the per-node battery model that runs inside the
+// simulator's Δ(τ) step loop, closing the loop the paper's Section 6
+// leaves as future work: traffic load drains batteries, depletion kills
+// nodes through the churn machinery (so every death is a disruption
+// episode in the convergence ledger), and a quantized remaining-energy
+// fraction can scale the shared density online so cluster-head burden
+// rotates toward well-charged nodes while the network keeps running.
+//
+// Each step, every operating node pays a role-dependent idle cost (heads
+// aggregate and forward their members' traffic, so they idle hotter than
+// members), per-packet transmission and reception costs driven by the
+// actual data-plane counters, and a reduced cost while duty-cycled — the
+// whole point of SleepNodes-style scheduling. The accounting is a single
+// sequential pass in node-index order over preallocated arrays: it is
+// allocation-free at steady state and bit-identical for a fixed seed at
+// any protocol-engine parallelism, because every input it reads (roles,
+// statuses, traffic counters) is itself deterministic.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Costs is the per-step drain schedule, shared by the live subsystem and
+// the offline epoch-level experiment (internal/experiment) so the two
+// cannot drift. All costs are in battery units (a full default battery
+// holds 1.0).
+type Costs struct {
+	// IdleHead is the per-step cost of operating as a cluster-head:
+	// beaconing for the cluster, aggregating member state, staying
+	// receive-ready for the whole cluster.
+	IdleHead float64
+	// IdleMember is the per-step cost of an ordinary awake node.
+	IdleMember float64
+	// Sleep is the per-step cost of a duty-cycled node (radio off); it is
+	// what SleepNodes-style scheduling actually saves.
+	Sleep float64
+	// Tx is the cost per transmitted data packet (one forwarding event in
+	// the traffic plane).
+	Tx float64
+	// Rx is the cost per received data packet.
+	Rx float64
+}
+
+// DefaultCosts is the reference schedule: heads idle 10x hotter than
+// members (they carry the cluster's control burden), sleep is 10x cheaper
+// than member idle, and moving one packet costs more at the transmitter
+// than at the receiver — the usual WSN radio asymmetry.
+func DefaultCosts() Costs {
+	return Costs{
+		IdleHead:   0.002,
+		IdleMember: 0.0002,
+		Sleep:      0.00002,
+		Tx:         0.0005,
+		Rx:         0.0002,
+	}
+}
+
+// EpochSteps maps one epoch of the offline re-clustering experiment
+// (internal/experiment.Energy) onto this many Δ(τ) steps, so its per-epoch
+// role costs derive from the same Costs schedule the live subsystem
+// charges per step.
+const EpochSteps = 10
+
+// validate rejects negative costs (zero is legal: it disables that term).
+func (c Costs) validate() error {
+	if c.IdleHead < 0 || c.IdleMember < 0 || c.Sleep < 0 || c.Tx < 0 || c.Rx < 0 {
+		return fmt.Errorf("energy: negative cost in %+v", c)
+	}
+	return nil
+}
+
+// Config parameterizes the battery model.
+type Config struct {
+	// Capacity is every node's initial battery in energy units. Default 1.
+	Capacity float64
+	// Costs is the drain schedule, taken as a whole: an all-zero value
+	// takes DefaultCosts; any non-zero field means the caller specified
+	// the schedule and the remaining zero fields genuinely cost zero.
+	Costs Costs
+	// Rotation enables energy-aware head rotation: the node's shared
+	// density is scaled by its quantized remaining-energy fraction (via
+	// Hooks.Scale), so draining heads lose elections online.
+	Rotation bool
+	// Levels is the quantization of the rotation scale: the battery
+	// fraction is rounded up to a multiple of 1/Levels, so the shared
+	// density only changes — and the clustering only re-elects — when a
+	// battery crosses a level boundary, not every step. Must be in
+	// [2, 1024] (finer makes every step a re-election trigger, defeating
+	// the quantization). Default 8.
+	Levels int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Capacity == 0 {
+		c.Capacity = 1
+	}
+	if c.Costs == (Costs{}) {
+		c.Costs = DefaultCosts()
+	}
+	if c.Levels == 0 {
+		c.Levels = 8
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("energy: capacity %v must be positive", c.Capacity)
+	}
+	if err := c.Costs.validate(); err != nil {
+		return err
+	}
+	if c.Rotation && (c.Levels < 2 || c.Levels > maxLevels) {
+		return fmt.Errorf("energy: rotation levels %d outside [2, %d]", c.Levels, maxLevels)
+	}
+	return nil
+}
+
+// Hooks connects the battery model to the engine it instruments. Alive,
+// Sleeping and IsHead are required; the rest are optional.
+type Hooks struct {
+	// Alive reports whether node i is powered on and awake.
+	Alive func(i int) bool
+	// Sleeping reports whether node i is duty-cycled off (a node that is
+	// neither alive nor sleeping is dead and drains nothing).
+	Sleeping func(i int) bool
+	// IsHead reports whether node i currently claims cluster headship.
+	IsHead func(i int) bool
+	// Tx and Rx return node i's cumulative data-plane transmission and
+	// reception counts; the model charges per-step deltas. nil means no
+	// data plane (idle costs only). A counter that moved backwards (the
+	// data plane was re-attached) re-baselines without charging.
+	Tx func(i int) int64
+	Rx func(i int) int64
+	// Kill permanently removes a node whose battery crossed zero. Routing
+	// it through the churn machinery makes depletion a first-class
+	// disruption episode. nil leaves depleted nodes running at zero.
+	Kill func(i int) error
+	// Scale installs node i's quantized remaining-energy fraction as its
+	// density multiplier. Required when Config.Rotation is set.
+	Scale func(i int, s float64) error
+}
+
+// maxLevels bounds the rotation quantization: anything finer than 1024
+// bands re-elects on practically every step, defeating the quantization.
+const maxLevels = 1024
+
+// acc accumulates the drain ledger the hot path touches; reads are done
+// at Stats time.
+type acc struct {
+	drainHead, drainMember, drainSleep float64
+	drainTx, drainRx                   float64
+	headSteps, memberSteps, sleepSteps int64
+}
+
+// Engine is the per-network battery model. It is not goroutine-safe; the
+// protocol engine invokes Step from its post-guard hook, on one
+// goroutine, after the traffic phase of the same step.
+type Engine struct {
+	cfg   Config
+	hooks Hooks
+	n     int
+
+	battery  []float64
+	depleted []bool
+	level    []int16 // current rotation level (only meaningful with Rotation)
+	lastTx   []int64
+	lastRx   []int64
+
+	acc        acc
+	firstDeath int // step of the first depletion, -1 while everyone lives
+	deaths     int
+	stepsRun   int
+}
+
+// New builds a battery model for n nodes with full batteries.
+func New(n int, cfg Config, hooks Hooks) (*Engine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("energy: %d nodes", n)
+	}
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if hooks.Alive == nil || hooks.Sleeping == nil || hooks.IsHead == nil {
+		return nil, fmt.Errorf("energy: Alive, Sleeping and IsHead hooks are required")
+	}
+	if cfg.Rotation && hooks.Scale == nil {
+		return nil, fmt.Errorf("energy: rotation requires the Scale hook")
+	}
+	e := &Engine{
+		cfg:        cfg,
+		hooks:      hooks,
+		n:          n,
+		battery:    make([]float64, n),
+		depleted:   make([]bool, n),
+		level:      make([]int16, n),
+		lastTx:     make([]int64, n),
+		lastRx:     make([]int64, n),
+		firstDeath: -1,
+	}
+	for i := range e.battery {
+		e.battery[i] = cfg.Capacity
+		e.level[i] = int16(cfg.Levels)
+		// Baseline the traffic counters at attach time: the data plane may
+		// have been running for many steps already, and history before the
+		// batteries existed must not be charged as one giant first-step
+		// drain.
+		if hooks.Tx != nil {
+			e.lastTx[i] = hooks.Tx(i)
+		}
+		if hooks.Rx != nil {
+			e.lastRx[i] = hooks.Rx(i)
+		}
+	}
+	return e, nil
+}
+
+// Step advances the battery model by one Δ(τ) step: every operating node
+// pays its role idle cost plus the tx/rx cost of the data-plane activity
+// since the previous step, sleepers pay the sleep cost, and batteries
+// that crossed zero are killed through the churn hook. step is the
+// protocol's completed-step count. The pass is allocation-free.
+func (e *Engine) Step(step int) error {
+	e.stepsRun++
+	c := &e.cfg.Costs
+	for i := 0; i < e.n; i++ {
+		if e.depleted[i] {
+			continue
+		}
+		alive := e.hooks.Alive(i)
+		sleeping := !alive && e.hooks.Sleeping(i)
+		if !alive && !sleeping {
+			continue // dead by churn: the battery outlives the node, untouched
+		}
+		var drain float64
+		if sleeping {
+			drain = c.Sleep
+			e.acc.drainSleep += c.Sleep
+			e.acc.sleepSteps++
+		} else {
+			if e.hooks.IsHead(i) {
+				drain = c.IdleHead
+				e.acc.drainHead += c.IdleHead
+				e.acc.headSteps++
+			} else {
+				drain = c.IdleMember
+				e.acc.drainMember += c.IdleMember
+				e.acc.memberSteps++
+			}
+			if e.hooks.Tx != nil {
+				tx := e.hooks.Tx(i)
+				if d := tx - e.lastTx[i]; d > 0 {
+					cost := float64(d) * c.Tx
+					drain += cost
+					e.acc.drainTx += cost
+				}
+				e.lastTx[i] = tx
+			}
+			if e.hooks.Rx != nil {
+				rx := e.hooks.Rx(i)
+				if d := rx - e.lastRx[i]; d > 0 {
+					cost := float64(d) * c.Rx
+					drain += cost
+					e.acc.drainRx += cost
+				}
+				e.lastRx[i] = rx
+			}
+		}
+		b := e.battery[i] - drain
+		if b <= 0 {
+			e.battery[i] = 0
+			e.depleted[i] = true
+			e.deaths++
+			if e.firstDeath < 0 {
+				e.firstDeath = step
+			}
+			if e.hooks.Kill != nil {
+				if err := e.hooks.Kill(i); err != nil {
+					return fmt.Errorf("energy: depletion kill of node %d: %w", i, err)
+				}
+			}
+			continue
+		}
+		e.battery[i] = b
+		if e.cfg.Rotation {
+			if lvl := e.quantize(b); lvl != e.level[i] {
+				e.level[i] = lvl
+				if err := e.hooks.Scale(i, float64(lvl)/float64(e.cfg.Levels)); err != nil {
+					return fmt.Errorf("energy: rotation scale of node %d: %w", i, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// quantize rounds a positive battery value up to its level in
+// [1, Levels]: a full battery is Levels, and the level only drops when
+// the battery crosses a 1/Levels boundary of the capacity.
+func (e *Engine) quantize(b float64) int16 {
+	levels := e.cfg.Levels
+	lvl := int(math.Ceil(b / e.cfg.Capacity * float64(levels)))
+	if lvl < 1 {
+		lvl = 1
+	}
+	if lvl > levels {
+		lvl = levels
+	}
+	return int16(lvl)
+}
+
+// Resize grows the model to n nodes; new arrivals under churn start with
+// a full battery. Shrinking is not supported — node slots are never
+// recycled.
+func (e *Engine) Resize(n int) {
+	for len(e.battery) < n {
+		e.battery = append(e.battery, e.cfg.Capacity)
+		e.depleted = append(e.depleted, false)
+		e.level = append(e.level, int16(e.cfg.Levels))
+		e.lastTx = append(e.lastTx, 0)
+		e.lastRx = append(e.lastRx, 0)
+	}
+	if n > e.n {
+		e.n = n
+	}
+}
+
+// Remaining returns node i's battery in energy units (0 once depleted).
+func (e *Engine) Remaining(i int) float64 {
+	if i < 0 || i >= len(e.battery) {
+		return 0
+	}
+	return e.battery[i]
+}
+
+// Depleted reports whether node i's battery crossed zero.
+func (e *Engine) Depleted(i int) bool {
+	return i >= 0 && i < len(e.depleted) && e.depleted[i]
+}
+
+// RotationScale returns the density multiplier rotation currently applies
+// to node i (1 when rotation is off) — the value Verify-style oracles
+// must scale their expected densities by.
+func (e *Engine) RotationScale(i int) float64 {
+	if !e.cfg.Rotation || i < 0 || i >= len(e.level) {
+		return 1
+	}
+	return float64(e.level[i]) / float64(e.cfg.Levels)
+}
+
+// Rotation reports whether energy-aware head rotation is enabled.
+func (e *Engine) Rotation() bool { return e.cfg.Rotation }
+
+// Capacity returns the configured initial battery.
+func (e *Engine) Capacity() float64 { return e.cfg.Capacity }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"selfstab/internal/cluster"
+	"selfstab/internal/energy"
 	"selfstab/internal/metric"
 	"selfstab/internal/rng"
 	"selfstab/internal/stats"
@@ -22,14 +23,18 @@ type EnergyResult struct {
 	Epochs          int
 }
 
-// Per-epoch battery cost: heads pay headCost (they aggregate and forward
-// their members' traffic), members memberCost. A head with no members does
-// no forwarding and pays memberCost — otherwise isolated nodes, which are
-// trivially their own heads under every metric, would dominate the
-// time-to-first-depletion and mask the rotation effect.
-const (
-	headCost   = 0.020
-	memberCost = 0.002
+// Per-epoch battery cost, derived from the live subsystem's reference
+// schedule (internal/energy.DefaultCosts) at EpochSteps Δ(τ) steps per
+// re-clustering epoch — the offline experiment and the live battery model
+// drain from one source of truth and cannot drift. Heads pay the head
+// idle rate (they aggregate and forward their members' traffic), members
+// the member rate. A head with no members does no forwarding and pays
+// memberCost — otherwise isolated nodes, which are trivially their own
+// heads under every metric, would dominate the time-to-first-depletion
+// and mask the rotation effect.
+var (
+	headCost   = energy.DefaultCosts().IdleHead * energy.EpochSteps
+	memberCost = energy.DefaultCosts().IdleMember * energy.EpochSteps
 )
 
 // Energy runs the head-rotation experiment: a static network re-clusters

@@ -92,6 +92,13 @@ type Options struct {
 	Order cluster.Order
 	// Fusion applies the 2-hop head separation rule at every level.
 	Fusion bool
+	// Level0Scale, when non-nil, multiplies each level-0 vertex's density
+	// before the election — the battery-weighted metric of an energy-aware
+	// network, so the offline fixpoint matches what the live rotating
+	// protocol stabilizes to. Upper levels cluster the overlay by plain
+	// density (the live protocol does not run them). Length must match
+	// g.N().
+	Level0Scale []float64
 }
 
 // Build constructs the hierarchy bottom-up on a static topology with the
@@ -118,13 +125,22 @@ func Build(g *topology.Graph, ids []int64, opts Options) (*Hierarchy, error) {
 	for i := range nodeOf {
 		nodeOf[i] = i
 	}
+	if opts.Level0Scale != nil && len(opts.Level0Scale) != g.N() {
+		return nil, fmt.Errorf("hierarchy: %d level-0 scales for %d nodes", len(opts.Level0Scale), g.N())
+	}
 	for lvl := 0; lvl < opts.MaxLevels; lvl++ {
 		levelIDs := make([]int64, curG.N())
 		for i, phys := range nodeOf {
 			levelIDs[i] = ids[phys]
 		}
+		values := metric.Density{}.Values(curG)
+		if lvl == 0 && opts.Level0Scale != nil {
+			for i := range values {
+				values[i] *= opts.Level0Scale[i]
+			}
+		}
 		a, err := cluster.Compute(curG, cluster.Config{
-			Values: metric.Density{}.Values(curG),
+			Values: values,
 			TieIDs: levelIDs,
 			Order:  opts.Order,
 			Fusion: opts.Fusion,

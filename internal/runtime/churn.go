@@ -295,6 +295,9 @@ func (e *Engine) Append(id int64) (int, error) {
 	e.sendMask = append(e.sendMask, true)
 	e.disrupt.changed = append(e.disrupt.changed, false)
 	e.disrupt.siteSet = append(e.disrupt.siteSet, false)
+	if e.densityScale != nil {
+		e.densityScale = append(e.densityScale, 1) // arrivals start unscaled (full battery)
+	}
 	e.markDisruption(ChurnJoin, i, e.g.Neighbors(i))
 	e.markChanged(i)
 	e.epoch++

@@ -487,3 +487,61 @@ func TestCorruptFracClamped(t *testing.T) {
 		}
 	}
 }
+
+// TestDensityScaleDrivesReelection: scaling down a head's density makes
+// it lose the ≺ election once the scaled value propagates — the online
+// head-rotation primitive the energy subsystem drives — and scales stay
+// aligned across churn arrivals.
+func TestDensityScaleDrivesReelection(t *testing.T) {
+	// A 5-node star: the hub has the dominant density and heads everyone.
+	g := topology.New(5)
+	for leaf := 1; leaf < 5; leaf++ {
+		if err := g.AddEdge(0, leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := New(g, []int64{10, 20, 30, 40, 50}, Protocol{Order: cluster.OrderBasic}, radio.Perfect{}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunUntilStable(200, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Node(0).IsHead() {
+		t.Fatalf("hub did not head the star: head=%d", e.Node(0).HeadID())
+	}
+	hubDensity := e.Node(0).Density()
+
+	// Drain the hub: its shared density drops to a tenth and a leaf takes
+	// over headship of itself (leaves see no dominating neighbor anymore).
+	if err := e.SetDensityScale(0, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunUntilStable(200, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Node(0).Density(); got >= hubDensity {
+		t.Fatalf("scaled density %v not below %v", got, hubDensity)
+	}
+	if e.Node(0).IsHead() && e.Node(0).Density() > e.Node(1).Density() {
+		t.Fatalf("drained hub still dominates: hub %v vs leaf %v", e.Node(0).Density(), e.Node(1).Density())
+	}
+	if got := e.DensityScale(0); got != 0.1 {
+		t.Fatalf("DensityScale(0) = %v, want 0.1", got)
+	}
+
+	// Churn arrival: the scale array grows in lockstep, newcomer at 1.
+	g.AddNode()
+	if err := g.AddEdge(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Append(60); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.DensityScale(5); got != 1 {
+		t.Fatalf("arrival scale %v, want 1", got)
+	}
+	if err := e.SetDensityScale(99, 1); err == nil {
+		t.Fatal("out-of-range scale index accepted")
+	}
+}

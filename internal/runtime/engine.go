@@ -86,6 +86,14 @@ type Engine struct {
 	status   []NodeStatus
 	sendMask []bool
 
+	// densityScale holds the per-node multiplier applied to the shared
+	// density by guard R1 (nil until the first SetDensityScale: every
+	// node at 1). The energy subsystem drives it with quantized remaining-
+	// battery fractions, turning head election energy-aware online. The
+	// slice is written only between steps (sequentially) and read by the
+	// parallel guard phase, mirroring the status array's discipline.
+	densityScale []float64
+
 	// Reusable step scratch.
 	out         []Frame // one outgoing frame per sender
 	inbox       radio.Inbox
@@ -230,6 +238,54 @@ func (e *Engine) SetParallelism(workers int) {
 	e.workers = workers
 }
 
+// SetDensityScale sets the multiplier guard R1 applies to node i's shared
+// density (negative values clamp to 0). The default is 1 for every node;
+// the first non-trivial call materializes the scale array. A changed scale
+// re-arms the node's guards and re-broadcast, so the new value propagates
+// like any other shared-variable change — the energy subsystem uses this
+// to demote draining cluster-heads online. Call only between steps (it
+// races with the parallel guard phase otherwise), exactly like the churn
+// mutators.
+func (e *Engine) SetDensityScale(i int, s float64) error {
+	if err := e.checkIndex(i); err != nil {
+		return err
+	}
+	if s < 0 {
+		s = 0
+	}
+	if e.densityScale == nil {
+		if s == 1 {
+			return nil
+		}
+		e.densityScale = make([]float64, len(e.nodes))
+		for j := range e.densityScale {
+			e.densityScale[j] = 1
+		}
+	}
+	if e.densityScale[i] == s {
+		return nil
+	}
+	e.densityScale[i] = s
+	if e.status[i] == StatusDead {
+		return nil // inert slot; keep the stored scale for bookkeeping only
+	}
+	n := e.nodes[i]
+	n.dirty = true      // the scaled density must be recomputed...
+	n.frameDirty = true // ...and re-broadcast
+	return nil
+}
+
+// DensityScale returns the multiplier guard R1 currently applies to node
+// i's shared density (1 when no scale was ever set).
+func (e *Engine) DensityScale(i int) float64 { return e.densityScaleOf(i) }
+
+func (e *Engine) densityScaleOf(i int) float64 {
+	if e.densityScale == nil {
+		return 1
+	}
+	return e.densityScale[i]
+}
+
 // parallelThreshold is the node count below which the per-node phases run
 // inline: goroutine fan-out costs more than it saves on tiny networks.
 const parallelThreshold = 128
@@ -357,7 +413,7 @@ func (e *Engine) Step() error {
 		}
 		n.dirty = false
 		changed := n.guardN1(e.proto)
-		changed = n.guardR1() || changed
+		changed = n.guardR1(e.densityScaleOf(i)) || changed
 		changed = n.guardR2(e.proto) || changed
 		if changed {
 			// Own shared variables are guard inputs too, and they are

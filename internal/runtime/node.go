@@ -280,11 +280,13 @@ func (n *Node) guardN1(proto Protocol) bool {
 }
 
 // guardR1 recomputes the shared density from cached neighbor lists
-// (Definition 1 evaluated on 2-hop knowledge). The cache key set IS the
-// node's view of N(p), and both it and every advertised neighbor list are
-// id-sorted, so the membership test is a merge scan — no hashing, no
-// allocation. Reports whether the shared density changed.
-func (n *Node) guardR1() bool {
+// (Definition 1 evaluated on 2-hop knowledge), scaled by the engine's
+// per-node density multiplier (1 unless an energy policy installed one).
+// The cache key set IS the node's view of N(p), and both it and every
+// advertised neighbor list are id-sorted, so the membership test is a
+// merge scan — no hashing, no allocation. Reports whether the shared
+// density changed.
+func (n *Node) guardR1(scale float64) bool {
 	old := n.density
 	deg := len(n.cache)
 	if deg == 0 {
@@ -329,7 +331,7 @@ func (n *Node) guardR1() bool {
 			}
 		}
 	}
-	n.density = float64(links) / float64(deg)
+	n.density = scale * (float64(links) / float64(deg))
 	return n.density != old
 }
 

@@ -218,7 +218,7 @@ func TestGuardR1MatchesDensityOracle(t *testing.T) {
 			// The daemon is synchronous here, so guardR1 ran this step on
 			// every dirty node; force one evaluation on the current cache
 			// to compare against the oracle regardless of skipping.
-			n.guardR1()
+			n.guardR1(1)
 			if want := metric.DensityFromTables(n.id, own, lists); n.density != want {
 				t.Fatalf("step %d: node %d guardR1 density %v, oracle %v", s, i, n.density, want)
 			}

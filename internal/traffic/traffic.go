@@ -161,6 +161,7 @@ type Engine struct {
 	arrivals [][]packet // staged one-hop moves, merged after the pass
 	flows    []flowState
 	load     []int64 // forwarding events per node (transmissions)
+	recv     []int64 // reception events per node (one per transmission, at the receiver)
 
 	acc      acc
 	step     int // the protocol's absolute completed-step count
@@ -192,6 +193,7 @@ func New(n int, cfg Config, hooks Hooks, src *rng.Source) (*Engine, error) {
 		queues:   make([]ring, n),
 		arrivals: make([][]packet, n),
 		load:     make([]int64, n),
+		recv:     make([]int64, n),
 		flows:    make([]flowState, len(cfg.Flows)),
 	}
 	for i := range e.queues {
@@ -254,8 +256,12 @@ func (e *Engine) Step(step int) error {
 				continue
 			}
 			// Only actual transmissions count as forwarding load; packets
-			// dropped above never left the node.
+			// dropped above never left the node. Every transmission has
+			// exactly one receiver (next — the destination itself on the
+			// final hop), which pays the radio reception: the tx/rx pair
+			// the energy subsystem charges per packet.
 			e.load[u]++
+			e.recv[next]++
 			if next == int(p.dst) {
 				e.deliver(p)
 				continue
@@ -353,6 +359,7 @@ func (e *Engine) Resize(n int) {
 		e.queues[len(e.queues)-1].init(e.cfg.QueueCap)
 		e.arrivals = append(e.arrivals, nil)
 		e.load = append(e.load, 0)
+		e.recv = append(e.recv, 0)
 	}
 	if n > e.n {
 		e.n = n
@@ -387,4 +394,30 @@ func (e *Engine) InFlight() int64 {
 // Load returns a copy of the per-node forwarding-event counts.
 func (e *Engine) Load() []int64 {
 	return append([]int64(nil), e.load...)
+}
+
+// Recv returns a copy of the per-node reception-event counts. Every
+// forwarding event charged to a sender in Load has exactly one matching
+// reception here, so the totals of the two vectors are always equal.
+func (e *Engine) Recv() []int64 {
+	return append([]int64(nil), e.recv...)
+}
+
+// LoadAt returns node i's cumulative transmission count without copying —
+// the allocation-free per-step hook the energy subsystem charges tx costs
+// from (0 for out-of-range indices, so callers racing a Resize stay safe).
+func (e *Engine) LoadAt(i int) int64 {
+	if i < 0 || i >= len(e.load) {
+		return 0
+	}
+	return e.load[i]
+}
+
+// RecvAt returns node i's cumulative reception count without copying (0
+// for out-of-range indices).
+func (e *Engine) RecvAt(i int) int64 {
+	if i < 0 || i >= len(e.recv) {
+		return 0
+	}
+	return e.recv[i]
 }

@@ -383,3 +383,38 @@ func TestResizeAndFlush(t *testing.T) {
 	}
 	e.FlushNode(99) // out of range: safe no-op
 }
+
+// TestRecvCountersMatchLoad pins the tx/rx pairing the energy subsystem
+// charges from: every forwarding event in Load has exactly one matching
+// reception in Recv, receptions land on the receivers (relays and the
+// destination, never the source), and the allocation-free accessors agree
+// with the copying ones.
+func TestRecvCountersMatchLoad(t *testing.T) {
+	cfg := Config{Flows: []FlowSpec{{Kind: CBR, Src: 0, Dst: 3, Rate: 1}}}
+	e := mustEngine(t, 4, cfg, lineHooks(), 1)
+	runSteps(t, e, 50)
+	load, recv := e.Load(), e.Recv()
+	var txTotal, rxTotal int64
+	for i := range load {
+		txTotal += load[i]
+		rxTotal += recv[i]
+		if load[i] != e.LoadAt(i) || recv[i] != e.RecvAt(i) {
+			t.Fatalf("node %d: accessors disagree with copies", i)
+		}
+	}
+	if txTotal == 0 || txTotal != rxTotal {
+		t.Fatalf("tx total %d != rx total %d", txTotal, rxTotal)
+	}
+	if recv[0] != 0 {
+		t.Errorf("source received %d packets on a one-way line", recv[0])
+	}
+	// On the 0→3 line every transmission by node i is received by i+1.
+	for i := 0; i < 3; i++ {
+		if load[i] != recv[i+1] {
+			t.Errorf("hop %d→%d: %d transmissions, %d receptions", i, i+1, load[i], recv[i+1])
+		}
+	}
+	if e.LoadAt(-1) != 0 || e.RecvAt(99) != 0 {
+		t.Error("out-of-range accessors not zero")
+	}
+}

@@ -146,8 +146,11 @@ type Stats struct {
 }
 
 // Stats measures the current clustering against the true topology.
+// Like Clusters and Verify it spans the operating population only: dead
+// and sleeping nodes keep their dense index slots under churn but are not
+// counted as singleton clusters.
 func (n *Network) Stats() Stats {
-	s := n.engine.Assignment().ComputeStats(n.g)
+	s := n.engine.Assignment().ComputeStatsOn(n.g, n.operatingMask())
 	return Stats{
 		Clusters:             s.NumClusters,
 		MeanHeadEccentricity: s.MeanHeadEccentricity,
@@ -171,8 +174,15 @@ func (n *Network) Stats() Stats {
 func (n *Network) Verify() error {
 	snap := n.engine.Snapshot()
 	alive := func(i int) bool { return n.engine.Status(i) == runtime.StatusAlive }
-	// Densities (Lemma 1).
+	// Densities (Lemma 1), scaled by the engine's per-node density
+	// multipliers (1 unless energy-aware rotation installed them): guard
+	// R1 computes scale * density, so the oracle must too — the legitimacy
+	// predicate stays exact under rotation, it just elects against the
+	// battery-weighted metric.
 	want := metric.Density{}.Values(n.g)
+	for i := range want {
+		want[i] *= n.engine.DensityScale(i)
+	}
 	for i := range snap.Density {
 		if !alive(i) {
 			continue
@@ -218,6 +228,27 @@ func (n *Network) Verify() error {
 		return fmt.Errorf("selfstab: %w", err)
 	}
 	return nil
+}
+
+// operatingMask returns the alive-nodes bitmap Stats and BuildHierarchy
+// restrict themselves to, or nil when every slot is alive (the common
+// churn-free case, where the mask would only cost allocations).
+func (n *Network) operatingMask() []bool {
+	all := true
+	for i := range n.pts {
+		if n.engine.Status(i) != runtime.StatusAlive {
+			all = false
+			break
+		}
+	}
+	if all {
+		return nil
+	}
+	mask := make([]bool, len(n.pts))
+	for i := range n.pts {
+		mask[i] = n.engine.Status(i) == runtime.StatusAlive
+	}
+	return mask
 }
 
 // SetPositions moves the nodes (mobility) and repairs the radio topology

@@ -2,10 +2,11 @@
 # bench.sh — the repo's performance trajectory harness.
 #
 # Runs go vet and the race-instrumented determinism tests (the safety net
-# for the parallel step engine, the traffic data plane and the churn
-# subsystem), then benchmarks the core packages with -benchmem and records
-# every sample in BENCH_step.json — plus the routing/traffic suite in
-# BENCH_traffic.json and the churn suite in BENCH_churn.json — so
+# for the parallel step engine, the traffic data plane, the churn
+# subsystem and the energy subsystem), then benchmarks the core packages
+# with -benchmem and records every sample in BENCH_step.json — plus the
+# routing/traffic suite in BENCH_traffic.json, the churn suite in
+# BENCH_churn.json and the energy suite in BENCH_energy.json — so
 # successive runs can be compared (benchstat on the raw text, or any tool
 # on the JSON).
 #
@@ -22,13 +23,15 @@ TRAFFIC_RAW="BENCH_traffic.txt"
 TRAFFIC_JSON="BENCH_traffic.json"
 CHURN_RAW="BENCH_churn.txt"
 CHURN_JSON="BENCH_churn.json"
+ENERGY_RAW="BENCH_energy.txt"
+ENERGY_JSON="BENCH_energy.json"
 
 echo "== go vet" >&2
 go vet ./...
 
 echo "== race-instrumented determinism tests" >&2
 go test -race -run 'TestParallelDeterminism|TestParallelMatchesSequentialStabilization|TestEngineChurnParallelDeterminism' ./internal/runtime
-go test -race -run 'TestTrafficDeterminism|TestChurnDeterminism' .
+go test -race -run 'TestTrafficDeterminism|TestChurnDeterminism|TestEnergyDeterminism' .
 
 echo "== benchmarks (count=$COUNT)" >&2
 go test -run '^$' -bench . -benchmem -count "$COUNT" "${PKGS[@]}" | tee "$RAW"
@@ -40,6 +43,10 @@ go test -run '^$' -bench 'BenchmarkRouteCached|BenchmarkRouteRebuild|BenchmarkTr
 echo "== churn benchmarks (count=$COUNT)" >&2
 go test -run '^$' -bench 'BenchmarkChurnStep1000' \
     -benchmem -count "$COUNT" . | tee "$CHURN_RAW"
+
+echo "== energy benchmarks (count=$COUNT)" >&2
+go test -run '^$' -bench 'BenchmarkEnergyStep1000' \
+    -benchmem -count "$COUNT" . | tee "$ENERGY_RAW"
 
 # bench_to_json converts benchmark lines into a JSON array. Lines look like:
 #   BenchmarkStep1000   232   4536778 ns/op   64 B/op   2 allocs/op
@@ -70,5 +77,6 @@ END { print "\n]" }
 bench_to_json "$RAW" > "$JSON"
 bench_to_json "$TRAFFIC_RAW" > "$TRAFFIC_JSON"
 bench_to_json "$CHURN_RAW" > "$CHURN_JSON"
+bench_to_json "$ENERGY_RAW" > "$ENERGY_JSON"
 
-echo "== wrote $RAW, $JSON, $TRAFFIC_RAW, $TRAFFIC_JSON, $CHURN_RAW and $CHURN_JSON" >&2
+echo "== wrote $RAW, $JSON, $TRAFFIC_RAW, $TRAFFIC_JSON, $CHURN_RAW, $CHURN_JSON, $ENERGY_RAW and $ENERGY_JSON" >&2

@@ -35,6 +35,19 @@
 // per event. The traffic plane survives churn: packets addressed to dead
 // or sleeping endpoints become accounted DropsDeadEndpoint drops.
 //
+// Energy closes the loop (AttachEnergy): every node carries a battery
+// drained per step by its role (cluster-heads idle hotter than members),
+// by the data plane's per-packet tx/rx activity and by duty-cycling
+// (sleeping is cheap — SleepNodes saves real energy). A depleted battery
+// kills its node through the churn machinery, so lifetime is measurable
+// end to end: load drains batteries, depletion is a departure episode in
+// the convergence ledger, and EnergyStats reports first-death step and
+// the per-cause drain breakdown. Energy-aware head rotation
+// (EnergyConfig.Rotation) scales each node's shared density by its
+// quantized remaining charge, demoting draining heads online — the
+// paper's Section 6 future work running live, with Verify checking the
+// correspondingly weighted oracle.
+//
 // Minimal use:
 //
 //	net, err := selfstab.NewPoissonNetwork(1000, selfstab.WithRange(0.1))
@@ -106,6 +119,16 @@
 //     for a fixed seed at any parallelism (pinned by TestTrafficDeterminism).
 //     BenchmarkTrafficStep1000 (1000 nodes, 100+ flows) adds zero
 //     steady-state allocations over the bare protocol step.
+//   - An allocation-free energy phase. The battery model attached by
+//     AttachEnergy runs after the traffic phase of the same step: one
+//     sequential pass over preallocated per-node arrays charges role idle
+//     costs and per-packet tx/rx deltas read straight off the data
+//     plane's counters (no copies), and rotation updates the engine's
+//     density scales only at quantized level crossings. The pass
+//     allocates nothing at steady state (TestEnergyPhaseAllocationFree)
+//     and its ledger is bit-identical at any worker count
+//     (TestEnergyDeterminism); BenchmarkEnergyStep1000 measures the full
+//     step with convergecast traffic and rotation enabled.
 //
 // The benchmark suite quantifies all of this: BenchmarkStep1000 (steady
 // protocol step at paper scale) is the headline throughput number and
@@ -124,6 +147,7 @@ import (
 
 	"selfstab/internal/cluster"
 	"selfstab/internal/deploy"
+	"selfstab/internal/energy"
 	"selfstab/internal/geom"
 	"selfstab/internal/radio"
 	"selfstab/internal/rng"
@@ -343,7 +367,13 @@ type Network struct {
 	distRows      map[int][]int
 	distRowsEpoch uint64
 
-	traffic *traffic.Engine // attached data plane (nil until AttachTraffic)
+	// Post-step phases, driven by stepPhases in order: traffic moves
+	// packets, then energy charges them. The attach flags track whether a
+	// phase is currently running; the engines stay readable after detach.
+	traffic   *traffic.Engine // attached data plane (nil until AttachTraffic)
+	trafficOn bool
+	energy    *energy.Engine // attached battery model (nil until AttachEnergy)
+	energyOn  bool
 
 	nextID        int64       // next identifier handed to a node added at runtime
 	churn         *churnState // attached churn schedule (nil until AttachChurn)

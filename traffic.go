@@ -137,15 +137,17 @@ func (n *Network) AttachTraffic(cfg TrafficConfig) error {
 		return err
 	}
 	n.traffic = t
-	n.engine.SetPostStep(t.Step)
+	n.trafficOn = true
+	n.installStepPhases()
 	return nil
 }
 
 // DetachTraffic removes the data plane; subsequent steps run the protocol
-// only. The final statistics remain readable via TrafficStats until the
-// next AttachTraffic.
+// (and any attached energy model) only. The final statistics remain
+// readable via TrafficStats until the next AttachTraffic.
 func (n *Network) DetachTraffic() {
-	n.engine.SetPostStep(nil)
+	n.trafficOn = false
+	n.installStepPhases()
 }
 
 // expandFlows resolves identifiers to indices and expands hotspot
