@@ -314,6 +314,9 @@ func (n *Network) sleepNodeIdx(i int, until int) error {
 	n.grid.Deactivate(i)
 	if n.churn != nil && i < len(n.churn.sleepUntil) {
 		n.churn.sleepUntil[i] = until
+		if until != 0 {
+			n.churn.sleepers = append(n.churn.sleepers, int32(i))
+		}
 	}
 	n.topoEpoch++
 	return nil
@@ -384,11 +387,27 @@ func (c *ChurnConfig) validate() error {
 }
 
 // churnState is the attached schedule: config, dedicated rng stream, and
-// the per-node wake deadlines (0 = no scheduled wake).
+// the per-node wake deadlines (0 = no scheduled wake). sleepers is the
+// deadline worklist — the slots with a scheduled wake — so the per-step
+// wake check costs O(scheduled sleepers), not O(N); entries whose
+// deadline was cleared out-of-band (wake, removal, crash) cull lazily.
 type churnState struct {
 	cfg        ChurnConfig
 	src        *rng.Source
 	sleepUntil []int
+	sleepers   []int32
+}
+
+// compactSleepers applies a dead-slot recycling remap to the worklist
+// (survivors keep their order; dropped slots leave it).
+func (c *churnState) compactSleepers(remap []int32) {
+	kept := c.sleepers[:0]
+	for _, si := range c.sleepers {
+		if nw := remap[si]; nw >= 0 {
+			kept = append(kept, nw)
+		}
+	}
+	c.sleepers = kept
 }
 
 // AttachChurn installs a node-lifecycle churn schedule that runs as a
@@ -433,13 +452,24 @@ func (n *Network) DetachChurn() {
 func (n *Network) churnPreStep(step int) error {
 	c := n.churn
 	// Due wakes first: they free capacity before new sleeps are drawn.
-	for i, until := range c.sleepUntil {
-		if until != 0 && step >= until {
+	// Walk the deadline worklist, culling entries cleared out-of-band.
+	w := 0
+	for _, si := range c.sleepers {
+		i := int(si)
+		until := c.sleepUntil[i]
+		if until == 0 {
+			continue // woken, removed or crashed since scheduling
+		}
+		if step >= until {
 			if err := n.wakeNodeIdx(i); err != nil {
 				return err
 			}
+			continue // the wake cleared the deadline
 		}
+		c.sleepers[w] = si
+		w++
 	}
+	c.sleepers = c.sleepers[:w]
 	for k := c.src.Poisson(c.cfg.ArrivalRate); k > 0; k-- {
 		p := geom.Point{
 			X: n.region.MinX + c.src.Float64()*(n.region.MaxX-n.region.MinX),

@@ -9,6 +9,7 @@
 //	selfstab-sim traffic -nodes 1000 -steps 500 -flows 100 -scenario static
 //	selfstab-sim churn -nodes 1000 -steps 500 -scenario steady
 //	selfstab-sim energy -nodes 1000 -steps 500 -scenario rotation
+//	selfstab-sim scale -nodes 100000 -scenario quiescent
 //
 // Experiments: table1, table2, table3, table4, table5, mobility,
 // stabilization, gamma, metrics, orders, energy, daemons, scalability,
@@ -29,6 +30,12 @@
 // feeding the convergence ledger), rotation (plain vs energy-aware head
 // election on the same seed) or sleep-savings (duty-cycled vs always-on
 // drain) scenario.
+//
+// The scale subcommand builds a production-scale network (default 100k
+// nodes at constant mean degree), cold-stabilizes it, and measures the
+// per-step cost once quiescent (the frontier engine's O(1) claim) or
+// under sustained churn with dead-slot auto-compaction bounding the
+// slot count.
 //
 // An unknown subcommand, experiment, scenario or workload name exits
 // non-zero with a usage line on stderr.
@@ -56,7 +63,7 @@ type renderer interface{ Render() string }
 
 // usage is the one-line surface summary attached to every bad-name error,
 // so a typo exits non-zero with actionable help on stderr.
-const usage = "usage: selfstab-sim [-exp <experiment>] [flags] | selfstab-sim traffic [flags] | selfstab-sim churn [flags] | selfstab-sim energy [flags]"
+const usage = "usage: selfstab-sim [-exp <experiment>] [flags] | selfstab-sim traffic [flags] | selfstab-sim churn [flags] | selfstab-sim energy [flags] | selfstab-sim scale [flags]"
 
 func usageErrorf(format string, a ...any) error {
 	return fmt.Errorf(format+"\n"+usage, a...)
@@ -71,8 +78,10 @@ func run(args []string, out io.Writer) error {
 			return runChurn(args[1:], out)
 		case "energy":
 			return runEnergy(args[1:], out)
+		case "scale":
+			return runScale(args[1:], out)
 		default:
-			return usageErrorf("unknown subcommand %q (want traffic, churn or energy)", args[0])
+			return usageErrorf("unknown subcommand %q (want traffic, churn, energy or scale)", args[0])
 		}
 	}
 	fs := flag.NewFlagSet("selfstab-sim", flag.ContinueOnError)

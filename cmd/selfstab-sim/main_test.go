@@ -136,6 +136,9 @@ func TestRunUnknownNamesExitNonZero(t *testing.T) {
 		{"unknown traffic workload", []string{"traffic", "-workload", "nope"}, "unknown workload"},
 		{"unknown churn scenario", []string{"churn", "-scenario", "nope"}, "unknown churn scenario"},
 		{"unknown energy scenario", []string{"energy", "-scenario", "nope"}, "unknown energy scenario"},
+		{"unknown scale scenario", []string{"scale", "-scenario", "nope"}, "unknown scale scenario"},
+		{"scale too few nodes", []string{"scale", "-nodes", "3"}, "at least 10 nodes"},
+		{"scale bad compact fraction", []string{"scale", "-compact", "1.5"}, "outside [0, 1]"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -188,6 +191,33 @@ func TestRunChurnBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"churn", "-nodes", "50", "-steps", "5", "-crash", "-2"}, &buf); err == nil {
 		t.Error("negative churn rate accepted")
+	}
+}
+
+// TestRunScaleScenarios drives the scale subcommand end to end on small
+// networks (this gates wiring, not timing).
+func TestRunScaleScenarios(t *testing.T) {
+	for _, tt := range []struct {
+		args []string
+		want []string
+	}{
+		{[]string{"scale", "-nodes", "400", "-steps", "30", "-scenario", "quiescent"},
+			[]string{"cold stabilize", "quiescent step", "frontier stepping"}},
+		{[]string{"scale", "-nodes", "400", "-steps", "60", "-scenario", "churn",
+			"-churnrate", "0.005", "-compact", "0.2"},
+			[]string{"churn step", "slots", "auto-compact"}},
+	} {
+		var buf bytes.Buffer
+		if err := run(tt.args, &buf); err != nil {
+			t.Errorf("%v: %v", tt.args, err)
+			continue
+		}
+		out := buf.String()
+		for _, want := range tt.want {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v output lacks %q:\n%s", tt.args, want, out)
+			}
+		}
 	}
 }
 

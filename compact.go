@@ -1,0 +1,99 @@
+package selfstab
+
+import (
+	"fmt"
+)
+
+// Compact recycles the index slots of permanently departed nodes. Slots
+// are otherwise never reused — a removed or depleted node keeps its
+// dense index so every per-node array across the stack stays aligned —
+// which means that under sustained add/remove churn, memory tracks
+// cumulative arrivals instead of the operating population. Compact
+// closes that gap: dead slots are dropped and the survivors renumbered,
+// under one index remap propagated atomically to every structure that
+// caches indices — the spatial grid and unit-disk graph, the step
+// engine, the traffic queues and flow endpoints, the energy arrays, the
+// convergence ledger's open episode, and the cached routing tables
+// (which rebuild on their epoch check).
+//
+// Compaction is invisible to everything keyed by node identifier: the
+// protocol state, Clusters, Stats, TrafficStats, EnergyStats and
+// ConvergenceStats are all bit-identical to a run that never compacted
+// (survivors keep their relative order, so every index-ordered loop
+// visits them in the same sequence). What does change is the meaning of
+// node *indices*: Positions, State(i) and friends renumber, and N()
+// shrinks by the returned count. Call between steps — never from a hook.
+func (n *Network) Compact() (removed int, err error) {
+	remap, newN := n.engine.CompactionRemap()
+	if remap == nil {
+		return 0, nil
+	}
+	// Order matters and mirrors construction: topology first (the engine
+	// validates its graph against newN), then the engine, then the
+	// attached subsystems, then the Network's own arrays.
+	if err := n.grid.Compact(remap, newN); err != nil {
+		return 0, fmt.Errorf("selfstab: compact: %w", err)
+	}
+	if err := n.engine.Compact(remap, newN); err != nil {
+		return 0, fmt.Errorf("selfstab: compact: %w", err)
+	}
+	if n.traffic != nil {
+		if err := n.traffic.Compact(remap, newN); err != nil {
+			return 0, fmt.Errorf("selfstab: compact: %w", err)
+		}
+	}
+	if n.energy != nil {
+		if err := n.energy.Compact(remap, newN); err != nil {
+			return 0, fmt.Errorf("selfstab: compact: %w", err)
+		}
+	}
+	for old, nw := range remap {
+		if nw < 0 {
+			delete(n.id2idx, n.ids[old])
+			continue
+		}
+		i := int(nw)
+		n.pts[i] = n.pts[old]
+		n.ids[i] = n.ids[old]
+		n.id2idx[n.ids[i]] = i
+		if n.churn != nil {
+			n.churn.sleepUntil[i] = n.churn.sleepUntil[old]
+		}
+	}
+	n.pts = n.pts[:newN]
+	n.ids = n.ids[:newN]
+	if n.churn != nil {
+		n.churn.sleepUntil = n.churn.sleepUntil[:newN]
+		n.churn.compactSleepers(remap)
+	}
+	n.topoEpoch++ // flat tables and distance rows are index-keyed
+	return len(remap) - newN, nil
+}
+
+// SetAutoCompact installs a dead-slot threshold: before every step, if
+// at least frac of the slots are dead (and at least one is), the network
+// compacts itself. 0 disables auto-compaction (the default); values in
+// (0, 1] bound live memory under sustained add/remove churn to
+// operating-population × 1/(1-frac) slots. The caveat of Compact
+// applies: each triggered compaction renumbers node indices.
+func (n *Network) SetAutoCompact(frac float64) error {
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("selfstab: auto-compact fraction %v outside [0, 1]", frac)
+	}
+	n.autoCompact = frac
+	return nil
+}
+
+// maybeAutoCompact runs a compaction when the dead-slot fraction reached
+// the configured threshold. O(1) when below it.
+func (n *Network) maybeAutoCompact() error {
+	if n.autoCompact <= 0 {
+		return nil
+	}
+	dead := n.engine.DeadCount()
+	if dead == 0 || float64(dead) < n.autoCompact*float64(len(n.pts)) {
+		return nil
+	}
+	_, err := n.Compact()
+	return err
+}

@@ -327,6 +327,37 @@ func (e *Engine) Resize(n int) {
 	}
 }
 
+// Compact applies the engine-wide dead-slot recycling remap (see
+// runtime.Engine.CompactionRemap): batteries and counter baselines move
+// to the survivors' new indices and dropped slots vanish. The drain
+// ledger, depletion counters and first-death step are aggregates and
+// carry over untouched, so EnergyStats is invariant across the call —
+// a dropped slot was dead and had stopped draining anyway. Call only
+// between steps.
+func (e *Engine) Compact(remap []int32, newN int) error {
+	if len(remap) != len(e.battery) {
+		return fmt.Errorf("energy: remap of %d entries for %d nodes", len(remap), len(e.battery))
+	}
+	for old, nw := range remap {
+		if nw < 0 {
+			continue
+		}
+		i := int(nw)
+		e.battery[i] = e.battery[old]
+		e.depleted[i] = e.depleted[old]
+		e.level[i] = e.level[old]
+		e.lastTx[i] = e.lastTx[old]
+		e.lastRx[i] = e.lastRx[old]
+	}
+	e.battery = e.battery[:newN]
+	e.depleted = e.depleted[:newN]
+	e.level = e.level[:newN]
+	e.lastTx = e.lastTx[:newN]
+	e.lastRx = e.lastRx[:newN]
+	e.n = newN
+	return nil
+}
+
 // Remaining returns node i's battery in energy units (0 once depleted).
 func (e *Engine) Remaining(i int) float64 {
 	if i < 0 || i >= len(e.battery) {

@@ -114,6 +114,13 @@ type disruption struct {
 	sites   []int  // deduplicated disruption sites
 	siteSet []bool // per-node "already a site" flag (bounds sites)
 	changed []bool // per-node "shared state changed this episode"
+
+	// Carry counters for slots a mid-episode Compact dropped: each was a
+	// changed (dead, isolated) node, counted as affected at close time;
+	// droppedChangedSite records whether any of them was also a site,
+	// i.e. a radius-0 witness. See Engine.compactDisruption.
+	droppedChanged     int
+	droppedChangedSite bool
 }
 
 // markDisruption opens (or extends) the current episode with one
@@ -134,6 +141,8 @@ func (e *Engine) markDisruption(kind ChurnKind, site int, spread []int) {
 		for i := range d.changed {
 			d.changed[i] = false
 		}
+		d.droppedChanged = 0
+		d.droppedChangedSite = false
 	}
 	d.kinds |= kind
 	d.ops++
@@ -221,6 +230,12 @@ func (e *Engine) affectedSpread() (affected, radius int) {
 			radius = int(dist[i])
 		}
 	}
+	// Slots a mid-episode Compact dropped: each was a changed dead node
+	// (affected), and a dropped site is its own radius-0 witness.
+	affected += e.disrupt.droppedChanged
+	if e.disrupt.droppedChangedSite && radius < 0 {
+		radius = 0
+	}
 	return affected, radius
 }
 
@@ -260,16 +275,15 @@ func (e *Engine) DisruptionRecords() []DisruptionRecord {
 // Status returns node i's lifecycle state.
 func (e *Engine) Status(i int) NodeStatus { return e.status[i] }
 
-// AliveCount returns the number of StatusAlive nodes.
-func (e *Engine) AliveCount() int {
-	n := 0
-	for _, s := range e.status {
-		if s == StatusAlive {
-			n++
-		}
-	}
-	return n
-}
+// AliveCount returns the number of StatusAlive nodes. O(1): the count is
+// maintained incrementally by the churn mutators (churn schedules query
+// it per victim draw, which at 100k+ nodes must not rescan the statuses).
+func (e *Engine) AliveCount() int { return e.aliveN }
+
+// DeadCount returns the number of StatusDead slots — the recyclable
+// population an explicit Compact (or an auto-compaction threshold)
+// reclaims. O(1).
+func (e *Engine) DeadCount() int { return e.deadN }
 
 // Append adds one new live node with the given identifier. The caller
 // must have grown the engine's graph first (topology.Graph.AddNode or
@@ -286,7 +300,7 @@ func (e *Engine) Append(id int64) (int, error) {
 	if j, dup := e.idx[id]; dup {
 		return -1, fmt.Errorf("runtime: duplicate id %d on node %d", id, j)
 	}
-	e.nodes = append(e.nodes, newNode(id, e.proto, e.src.SplitN("node", i)))
+	e.nodes = append(e.nodes, newNode(id, e.proto, e.nodeStream(i)))
 	e.ids = append(e.ids, id)
 	e.idx[id] = i
 	e.out = append(e.out, Frame{})
@@ -295,9 +309,15 @@ func (e *Engine) Append(id int64) (int, error) {
 	e.sendMask = append(e.sendMask, true)
 	e.disrupt.changed = append(e.disrupt.changed, false)
 	e.disrupt.siteSet = append(e.disrupt.siteSet, false)
+	e.pendFlag = append(e.pendFlag, false)
+	e.execFlag = append(e.execFlag, false)
 	if e.densityScale != nil {
 		e.densityScale = append(e.densityScale, 1) // arrivals start unscaled (full battery)
 	}
+	e.aliveN++
+	// The newcomer broadcasts a fresh frame, so the frontier expansion
+	// pulls its neighbors in by itself; only the node needs activating.
+	e.Activate(i)
 	e.markDisruption(ChurnJoin, i, e.g.Neighbors(i))
 	e.markChanged(i)
 	e.epoch++
@@ -317,6 +337,13 @@ func (e *Engine) Kill(i int) error {
 	}
 	e.markDisruption(ChurnLeave, i, e.g.Neighbors(i))
 	e.markChanged(i)
+	// The survivors stop hearing the departed node this very step: its
+	// former neighbors must start aging their cache entries now.
+	e.activateSpread(i, e.g.Neighbors(i))
+	if e.status[i] == StatusAlive {
+		e.aliveN--
+	}
+	e.deadN++
 	e.nodes[i].reset(e.proto)
 	e.status[i] = StatusDead
 	e.sendMask[i] = false
@@ -337,6 +364,10 @@ func (e *Engine) Reboot(i int) error {
 	}
 	e.markDisruption(ChurnCrash, i, nil)
 	e.markChanged(i)
+	e.Activate(i) // reset state re-broadcasts; the expansion covers neighbors
+	if e.status[i] != StatusAlive {
+		e.aliveN++
+	}
 	e.nodes[i].reset(e.proto)
 	e.status[i] = StatusAlive
 	e.sendMask[i] = true
@@ -355,6 +386,10 @@ func (e *Engine) Sleep(i int) error {
 		return fmt.Errorf("runtime: node %d is %s, cannot sleep", i, e.status[i])
 	}
 	e.markDisruption(ChurnSleep, i, e.g.Neighbors(i))
+	// The sleeper falls silent: its neighbors' cache entries for it start
+	// aging this very step.
+	e.activateSpread(i, e.g.Neighbors(i))
+	e.aliveN--
 	e.status[i] = StatusSleeping
 	e.sendMask[i] = false
 	e.epoch++
@@ -373,6 +408,8 @@ func (e *Engine) Wake(i int) error {
 		return fmt.Errorf("runtime: node %d is %s, cannot wake", i, e.status[i])
 	}
 	e.markDisruption(ChurnWake, i, e.g.Neighbors(i))
+	e.Activate(i) // frameDirty below pulls the neighbors in via the expansion
+	e.aliveN++
 	e.status[i] = StatusAlive
 	e.sendMask[i] = true
 	n := e.nodes[i]

@@ -113,6 +113,7 @@ func TestAdversarialHeadHijack(t *testing.T) {
 		n.dirty = true // out-of-band mutation: re-arm the guards
 		n.frameDirty = true
 	}
+	e.ActivateAll() // out-of-band mutations must also re-queue the nodes
 	if _, err := e.RunUntilStable(500, 5); err != nil {
 		t.Fatal(err)
 	}
@@ -144,6 +145,7 @@ func TestDensityInflationAttack(t *testing.T) {
 		n.dirty = true // out-of-band mutation: re-arm the guards
 		n.frameDirty = true
 	}
+	e.ActivateAll() // out-of-band mutations must also re-queue the nodes
 	if _, err := e.RunUntilStable(500, 5); err != nil {
 		t.Fatal(err)
 	}

@@ -81,10 +81,27 @@ type Engine struct {
 
 	// Node lifecycle (churn). status holds each slot's lifecycle state;
 	// sendMask mirrors status == StatusAlive in the []bool shape the radio
-	// medium consumes. Slots are never reused: a dead node keeps its index
-	// so every dense per-node array stays aligned.
+	// medium consumes. Slot indices are stable between Compact calls: a
+	// dead node keeps its dense index so every per-node array across the
+	// stack stays aligned, until an explicit Compact recycles dead slots
+	// under an index remap. aliveN and deadN are maintained incrementally
+	// so population queries are O(1) at any scale.
 	status   []NodeStatus
 	sendMask []bool
+	aliveN   int
+	deadN    int
+
+	// Frontier (worklist) stepping — see frontier.go. sparseOK records
+	// whether this configuration supports it at all; sparse whether it is
+	// currently active. pend is next step's deduplicated worklist, exec
+	// the current step's (pend plus the neighborhoods of nodes about to
+	// broadcast changed content).
+	sparse   bool
+	sparseOK bool
+	pendFlag []bool
+	pend     []int32
+	execFlag []bool
+	exec     []int32
 
 	// densityScale holds the per-node multiplier applied to the shared
 	// density by guard R1 (nil until the first SetDensityScale: every
@@ -166,10 +183,34 @@ func New(g *topology.Graph, ids []int64, proto Protocol, medium radio.Medium, sr
 		active:   make([]bool, g.N()),
 		status:   make([]NodeStatus, g.N()),
 		sendMask: make([]bool, g.N()),
+		aliveN:   g.N(),
 	}
+	// One contiguous node arena for the initial population: cold-start
+	// construction is part of every experiment's per-run cost, and n
+	// individual Node allocations dominated it. Append still allocates
+	// per node — growing the arena would move it under existing pointers.
+	// Per-node rng streams exist only to draw DAG colors; without the DAG
+	// nothing ever reads them, and skipping the splits saves a ~5 KB
+	// math/rand state per node (almost half the construction bytes).
+	arena := make([]Node, g.N())
 	for i := range e.nodes {
-		e.nodes[i] = newNode(ids[i], proto, src.SplitN("node", i))
+		initNode(&arena[i], ids[i], proto, e.nodeStream(i))
+		e.nodes[i] = &arena[i]
 		e.sendMask[i] = true
+	}
+	// Frontier stepping is on whenever the configuration supports it; the
+	// whole population starts on the worklist (cold start: every guard is
+	// armed).
+	e.sparseOK = sparseEligible(medium, proto)
+	e.sparse = e.sparseOK
+	e.pendFlag = make([]bool, g.N())
+	e.execFlag = make([]bool, g.N())
+	e.pend = make([]int32, 0, g.N())
+	if e.sparse {
+		for i := range e.nodes {
+			e.pendFlag[i] = true
+			e.pend = append(e.pend, int32(i))
+		}
 	}
 	// Close disruption episodes only after a quiet stretch long enough for
 	// TTL eviction to have flushed a vanished neighbor — otherwise a
@@ -184,11 +225,31 @@ func New(g *topology.Graph, ids []int64, proto Protocol, medium radio.Medium, sr
 	return e, nil
 }
 
+// nodeStream derives node i's private rng stream from the master source.
+// Only the DAG draws per-node randomness (initial color, redraws after a
+// collision or a crash); without it the stream is nil and the split is
+// skipped entirely. Note each SplitN advances the master source by one
+// draw, so the master's position differs between UseDag settings — safe
+// today because node splits (construction and Append) are the master's
+// only consumers and are skipped uniformly, but a new e.src consumer
+// must not assume a UseDag-independent master position.
+func (e *Engine) nodeStream(i int) *rng.Source {
+	if !e.proto.UseDag {
+		return nil
+	}
+	return e.src.SplitN("node", i)
+}
+
 // N returns the number of nodes.
 func (e *Engine) N() int { return len(e.nodes) }
 
 // StepCount returns how many steps have executed.
 func (e *Engine) StepCount() int { return e.step }
+
+// LastChange returns the most recent step (or disruption) that changed
+// shared state — the quiescence marker RunUntilStable polls. Callers
+// implementing their own stabilization loop compare it against StepCount.
+func (e *Engine) LastChange() int { return e.lastChange }
 
 // Node returns the i-th node (read-only access for assertions).
 func (e *Engine) Node(i int) *Node { return e.nodes[i] }
@@ -198,14 +259,28 @@ func (e *Engine) Graph() *topology.Graph { return e.g }
 
 // SetGraph swaps the topology (mobility/churn). Node caches are kept; stale
 // neighbors age out via the protocol's TTL, exactly as in a real network.
+// The swap is opaque — the engine cannot know which adjacencies moved —
+// so on the frontier path every node is conservatively re-examined.
+// Callers that maintain the engine's graph in place incrementally (the
+// GridIndex path) should instead Activate the changed nodes and call
+// NoteTopologyChanged, keeping the re-examination proportional to the
+// change.
 func (e *Engine) SetGraph(g *topology.Graph) error {
 	if g.N() != len(e.nodes) {
 		return fmt.Errorf("runtime: new graph has %d nodes, engine has %d", g.N(), len(e.nodes))
 	}
 	e.g = g
 	e.epoch++
+	e.ActivateAll()
 	return nil
 }
+
+// NoteTopologyChanged advances the epoch after the engine's graph was
+// mutated in place by an incremental index (no pointer swap). The caller
+// must have Activated every node whose adjacency changed — typically by
+// wiring topology.GridIndex's adjacency hook to Activate — or frontier
+// stepping would silently miss the delta.
+func (e *Engine) NoteTopologyChanged() { e.epoch++ }
 
 // Epoch returns a counter that advances whenever the shared state or the
 // topology changed (a state-changing step, SetGraph, Corrupt). Derived
@@ -272,6 +347,7 @@ func (e *Engine) SetDensityScale(i int, s float64) error {
 	n := e.nodes[i]
 	n.dirty = true      // the scaled density must be recomputed...
 	n.frameDirty = true // ...and re-broadcast
+	e.Activate(i)
 	return nil
 }
 
@@ -342,7 +418,22 @@ func (e *Engine) forEachNode(fn func(i int) bool) bool {
 // assignments (N1, R1, R2) once, in that order. Sleeping and dead nodes
 // neither transmit nor listen, and their state is frozen (sleeping) or
 // cleared (dead).
+//
+// With frontier stepping active (see frontier.go) the same semantics are
+// produced by examining only the worklist of potentially-changed nodes;
+// a stabilized network steps in O(1) instead of O(N).
 func (e *Engine) Step() error {
+	if e.sparse {
+		return e.stepSparse()
+	}
+	return e.stepDense()
+}
+
+// stepDense is the full-scan step path: every node is visited every
+// step. It is the reference semantics frontier stepping must reproduce
+// bit-for-bit, and the only path able to drive lossy media and
+// randomized daemons (whose per-step randomness touches every node).
+func (e *Engine) stepDense() error {
 	// Close a converged disruption episode before new churn can extend it,
 	// then run the churn pre-step (node add/remove/crash/sleep/wake).
 	e.maybeCloseDisruption()
@@ -629,6 +720,7 @@ func (e *Engine) Corrupt(frac float64, kind CorruptionKind, src *rng.Source) {
 		e.markChanged(i)
 		n.dirty = true      // corrupted inputs must be re-evaluated...
 		n.frameDirty = true // ...and re-broadcast
+		e.Activate(i)
 		if kind&CorruptState != 0 {
 			n.tieID = garbageID()
 			n.density = src.Float64() * 100

@@ -61,11 +61,38 @@ func (c *neighborCache) upsert(id int64) (*cacheEntry, bool) {
 	if lo < len(s) && s[lo].frame.ID == id {
 		return &s[lo], false
 	}
+	if len(s) == cap(s) {
+		// Grow straight to a useful capacity: the cache starts nil (most
+		// cold constructions would outgrow any prealloc immediately) and
+		// unit-disk degrees make 1-2-4 growth steps pure churn.
+		ncap := 2 * cap(s)
+		if ncap < 8 {
+			ncap = 8
+		}
+		t := make(neighborCache, len(s), ncap)
+		copy(t, s)
+		s = t
+	}
 	s = append(s, cacheEntry{})
 	copy(s[lo+1:], s[lo:])
 	s[lo] = cacheEntry{frame: Frame{ID: id}}
 	*c = s
 	return &s[lo], true
+}
+
+// copySummaries copies src over dst's backing array, growing it in
+// power-of-two jumps: a sender's advertised list grows a few entries per
+// step during convergence, and exact-size reallocation on every refresh
+// was a measurable slice of cold-stabilization's allocation bill.
+func copySummaries(dst, src []NbrSummary) []NbrSummary {
+	if cap(dst) < len(src) {
+		ncap := 8
+		for ncap < len(src) {
+			ncap *= 2
+		}
+		dst = make([]NbrSummary, 0, ncap)
+	}
+	return append(dst[:0], src...)
 }
 
 // put installs a full entry (test fixture helper).
@@ -101,20 +128,37 @@ type Node struct {
 	// unchanged still changes the relayed neighbor summaries.
 	//
 	// Anything that mutates node state outside ingest/guards (corruption,
-	// test fixtures) must set both.
+	// test fixtures) must set both — and, under frontier stepping, also
+	// Activate the node so the worklist re-examines it.
 	dirty      bool
 	frameDirty bool
+
+	// stale records that the last (sparse-path) ingest left at least one
+	// cache entry aging toward TTL eviction — the node must stay on the
+	// frontier so the entry keeps aging exactly as the full scan would
+	// age it. Only meaningful with a positive TTL; see ingestAdj.
+	stale bool
 }
 
 // newNode boots a node in the protocol's cold-start state: it claims
 // headship of itself and, with the DAG enabled, draws an initial color.
 func newNode(id int64, proto Protocol, src *rng.Source) *Node {
-	n := &Node{
+	n := &Node{}
+	initNode(n, id, proto, src)
+	return n
+}
+
+// initNode is newNode into caller-provided storage, so the engine can
+// lay the initial population out in one contiguous arena. The neighbor
+// cache starts nil and materializes on the first heard frame — most of a
+// cold construction's nodes would otherwise pre-allocate capacity they
+// immediately outgrow.
+func initNode(n *Node, id int64, proto Protocol, src *rng.Source) {
+	*n = Node{
 		id:         id,
 		tieID:      id,
 		headID:     id,
 		parent:     id,
-		cache:      make(neighborCache, 0, 8),
 		src:        src,
 		dirty:      true,
 		frameDirty: true,
@@ -122,7 +166,6 @@ func newNode(id int64, proto Protocol, src *rng.Source) *Node {
 	if proto.UseDag {
 		n.tieID = src.Int63() % proto.Gamma
 	}
-	return n
 }
 
 // reset returns the node to the cold-start state of newNode: self-head,
@@ -144,6 +187,7 @@ func (n *Node) reset(proto Protocol) {
 	n.cache = n.cache[:0]
 	n.dirty = true
 	n.frameDirty = true
+	n.stale = false
 }
 
 // ID returns the node's application identifier.
@@ -205,7 +249,7 @@ func (n *Node) ingest(frames []Frame, senders []int32, ttl int) {
 		// one comparison and no copy.
 		if added || e.frame.TieID != f.TieID || e.frame.Density != f.Density ||
 			e.frame.HeadID != f.HeadID || !slices.Equal(e.frame.Nbrs, f.Nbrs) {
-			nbrs := append(e.frame.Nbrs[:0], f.Nbrs...)
+			nbrs := copySummaries(e.frame.Nbrs, f.Nbrs)
 			e.frame = Frame{ID: f.ID, TieID: f.TieID, Density: f.Density, HeadID: f.HeadID, Nbrs: nbrs}
 			n.dirty = true
 			n.frameDirty = true
@@ -227,6 +271,62 @@ func (n *Node) ingest(frames []Frame, senders []int32, ttl int) {
 			n.cache = kept
 			n.dirty = true
 			n.frameDirty = true
+		}
+	}
+}
+
+// ingestAdj is the sparse-path twin of ingest: identical cache semantics
+// (aging, upsert-and-compare, TTL eviction — keep the two in lockstep),
+// but the heard senders come straight from the node's adjacency list
+// filtered by the engine's send mask, which is exactly what a lossless
+// medium delivers. It additionally records in n.stale whether any entry
+// survived the pass unrefreshed, so the frontier engine knows the node
+// must be re-examined next step for its aging to stay bit-identical to
+// the full scan. With ttl 0 eviction never fires, aging is unobservable,
+// and stale stays false so fully-refreshed nodes can leave the frontier.
+func (n *Node) ingestAdj(frames []Frame, nbrs []int, sending []bool, ttl int) {
+	for i := range n.cache {
+		n.cache[i].age++
+	}
+	for _, s := range nbrs {
+		if !sending[s] {
+			continue
+		}
+		f := &frames[s]
+		if f.ID == n.id {
+			continue // own echo; cannot happen with honest media, but cheap to guard
+		}
+		e, added := n.cache.upsert(f.ID)
+		if added || e.frame.TieID != f.TieID || e.frame.Density != f.Density ||
+			e.frame.HeadID != f.HeadID || !slices.Equal(e.frame.Nbrs, f.Nbrs) {
+			nbrCopy := copySummaries(e.frame.Nbrs, f.Nbrs)
+			e.frame = Frame{ID: f.ID, TieID: f.TieID, Density: f.Density, HeadID: f.HeadID, Nbrs: nbrCopy}
+			n.dirty = true
+			n.frameDirty = true
+		}
+		e.age = 0
+	}
+	n.stale = false
+	if ttl > 0 {
+		kept := n.cache[:0]
+		for i := range n.cache {
+			if n.cache[i].age <= ttl {
+				kept = append(kept, n.cache[i])
+			}
+		}
+		if len(kept) != len(n.cache) {
+			for i := len(kept); i < len(n.cache); i++ {
+				n.cache[i] = cacheEntry{}
+			}
+			n.cache = kept
+			n.dirty = true
+			n.frameDirty = true
+		}
+		for i := range n.cache {
+			if n.cache[i].age > 0 {
+				n.stale = true
+				break
+			}
 		}
 	}
 }

@@ -1,0 +1,162 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/geom"
+	"selfstab/internal/radio"
+	"selfstab/internal/rng"
+	"selfstab/internal/topology"
+)
+
+// requireScaleBench gates the expensive scale suite (100k-node setups)
+// behind SELFSTAB_SCALE_BENCH=1 so a plain `go test -bench .` over the
+// package stays minutes, not tens of minutes. scripts/bench.sh sets it
+// for the BENCH_scale.json section, as does the CI scale smoke.
+func requireScaleBench(b *testing.B) {
+	b.Helper()
+	if os.Getenv("SELFSTAB_SCALE_BENCH") == "" {
+		b.Skip("set SELFSTAB_SCALE_BENCH=1 to run the scale suite (see scripts/bench.sh)")
+	}
+}
+
+// scalePoints deploys n uniform nodes with the radio range chosen for a
+// mean degree of ~10, so per-node local work is constant across scales
+// and the benchmarks isolate the engine's N-dependence.
+func scalePoints(seed int64, n int) ([]geom.Point, []int64, float64) {
+	src := rng.New(seed)
+	pts := make([]geom.Point, n)
+	ids := make([]int64, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: src.Float64(), Y: src.Float64()}
+		ids[i] = int64(i)
+	}
+	r := math.Sqrt(10 / (math.Pi * float64(n)))
+	return pts, ids, r
+}
+
+func stableScaleEngine(b *testing.B, n int, sparse bool) *Engine {
+	b.Helper()
+	pts, ids, r := scalePoints(int64(n), n)
+	g := topology.FromPoints(pts, r)
+	e, err := New(g, ids, Protocol{Order: cluster.OrderBasic}, radio.Perfect{}, rng.New(int64(n)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.SetSparse(sparse); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.RunUntilStable(5000, 5); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkQuiescentStep measures a stabilized network's step at 1k,
+// 10k and 100k nodes under frontier stepping. The acceptance criterion
+// of the scale work is that these stay roughly flat in N (O(frontier),
+// and the frontier is empty) with steady-state allocs/op ≤ 2; compare
+// BenchmarkQuiescentStepDense1k for the O(N) full-scan baseline the
+// 100k cost would otherwise extrapolate from.
+func BenchmarkQuiescentStep(b *testing.B) {
+	requireScaleBench(b)
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := stableScaleEngine(b, n, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQuiescentStepDense1k is the full-scan cost of the same
+// quiescent step at 1k nodes — multiply by N/1000 for the extrapolated
+// dense cost the frontier engine is measured against.
+func BenchmarkQuiescentStepDense1k(b *testing.B) {
+	requireScaleBench(b)
+	e := stableScaleEngine(b, 1_000, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStep100k measures a locally perturbed step at 100k nodes:
+// each step, 100 spread-out nodes change their density scale (the
+// energy-rotation write path), so the frontier holds those nodes plus
+// their radio neighborhoods while the other ~99.9% of the network is
+// skipped.
+func BenchmarkStep100k(b *testing.B) {
+	requireScaleBench(b)
+	const n = 100_000
+	e := stableScaleEngine(b, n, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := 0.875
+		if i%2 == 1 {
+			s = 1.0
+		}
+		for k := 0; k < 100; k++ {
+			if err := e.SetDensityScale((k*997+13)%n, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := e.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompact measures dead-slot recycling at 10k nodes with 20%
+// dead: the grid/graph compaction plus the engine's remap. Setup (a
+// fresh engine with freshly killed slots per iteration) is untimed.
+func BenchmarkCompact(b *testing.B) {
+	requireScaleBench(b)
+	const n = 10_000
+	pts, ids, r := scalePoints(n, n)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gi := topology.NewGridIndexInRegion(pts, r, geom.UnitSquare())
+		e, err := New(gi.Graph(), ids, Protocol{Order: cluster.OrderBasic}, radio.Perfect{}, rng.New(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(3); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < n/5; k++ {
+			v := (k*4999 + 7) % n
+			if e.Status(v) != StatusAlive {
+				continue
+			}
+			if err := e.Kill(v); err != nil {
+				b.Fatal(err)
+			}
+			gi.Deactivate(v)
+		}
+		b.StartTimer()
+		remap, newN := e.CompactionRemap()
+		if remap == nil {
+			b.Fatal("nothing to compact")
+		}
+		if err := gi.Compact(remap, newN); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Compact(remap, newN); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"testing"
+
+	"selfstab/internal/geom"
+	"selfstab/internal/rng"
+)
+
+// TestBuilderMatchesFromPoints: repeated Builds over varying point sets
+// and ranges must equal from-scratch construction.
+func TestBuilderMatchesFromPoints(t *testing.T) {
+	b := NewBuilder()
+	src := rng.New(11)
+	for iter := 0; iter < 8; iter++ {
+		n := 20 + src.Intn(300)
+		r := 0.05 + src.Float64()*0.15
+		pts := randPoints(n, src)
+		graphsEqual(t, b.Build(pts, r), FromPoints(pts, r), "builder rebuild")
+	}
+	// Shrinking and zero-range builds reuse buffers correctly too.
+	pts := randPoints(10, src)
+	graphsEqual(t, b.Build(pts, 0), FromPoints(pts, 0), "zero range")
+	graphsEqual(t, b.Build(pts, 0.3), FromPoints(pts, 0.3), "small after large")
+}
+
+// TestBuilderSteadyStateAllocs: after warmup, rebuilding the same-sized
+// deployment reuses every buffer.
+func TestBuilderSteadyStateAllocs(t *testing.T) {
+	b := NewBuilder()
+	src := rng.New(12)
+	pts := randPoints(500, src)
+	b.Build(pts, 0.1) // warm the buffers
+	allocs := testing.AllocsPerRun(10, func() {
+		for j := range pts {
+			pts[j].X += (src.Float64() - 0.5) * 0.002
+			pts[j].Y += (src.Float64() - 0.5) * 0.002
+		}
+		b.Build(pts, 0.1)
+	})
+	// A handful of adjacency rows may still grow as the jitter shifts
+	// local density; the 6k-allocation from-scratch build must be gone.
+	if allocs > 20 {
+		t.Fatalf("steady-state Build allocates %.0f times", allocs)
+	}
+}
+
+// TestGridIndexCompactMatchesOracle: deactivate (kill) a subset, compact
+// under the monotone remap, and compare the surviving graph against the
+// brute-force unit-disk oracle over the surviving points.
+func TestGridIndexCompactMatchesOracle(t *testing.T) {
+	const r = 0.15
+	for seed := int64(0); seed < 3; seed++ {
+		src := rng.New(900 + seed)
+		pts := randPoints(80, src)
+		idx := NewGridIndexInRegion(pts, r, geom.UnitSquare())
+		dead := make([]bool, len(pts))
+		for k := 0; k < 25; k++ {
+			i := src.Intn(len(pts))
+			if !dead[i] {
+				dead[i] = true
+				idx.Deactivate(i)
+			}
+		}
+		remap := make([]int32, len(pts))
+		var survivors []geom.Point
+		next := int32(0)
+		for i := range pts {
+			if dead[i] {
+				remap[i] = -1
+				continue
+			}
+			remap[i] = next
+			next++
+			survivors = append(survivors, pts[i])
+		}
+		if err := idx.Compact(remap, int(next)); err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, idx.Graph(), FromPoints(survivors, r), "compacted graph")
+		// The compacted index must keep working incrementally: move a
+		// node, append one, and still match the oracle.
+		survivors[0].X = 1 - survivors[0].X
+		if _, err := idx.Update(survivors); err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, idx.Graph(), FromPoints(survivors, r), "post-compact update")
+		p := geom.Point{X: src.Float64(), Y: src.Float64()}
+		idx.Append(p)
+		survivors = append(survivors, p)
+		graphsEqual(t, idx.Graph(), FromPoints(survivors, r), "post-compact append")
+	}
+}
+
+// TestCompactRejectsActiveSlot: the remap may only drop deactivated
+// (edge-free) slots.
+func TestCompactRejectsActiveSlot(t *testing.T) {
+	pts := randPoints(10, rng.New(5))
+	idx := NewGridIndex(pts, 0.3)
+	remap := make([]int32, 10)
+	for i := range remap {
+		remap[i] = int32(i) - 1 // drop slot 0, which is still active
+	}
+	if err := idx.Compact(remap, 9); err == nil {
+		t.Fatal("compacting an active slot succeeded")
+	}
+}
+
+// TestAdjacencyChangeHook: every incremental operation must notify every
+// node whose adjacency list it changed (over-notification is allowed,
+// silence is not — the frontier engine depends on it).
+func TestAdjacencyChangeHook(t *testing.T) {
+	src := rng.New(31)
+	pts := randPoints(60, src)
+	const r = 0.2
+	idx := NewGridIndexInRegion(pts, r, geom.UnitSquare())
+	notified := map[int]bool{}
+	idx.SetOnAdjacencyChange(func(i int) { notified[i] = true })
+
+	adjCopy := func() [][]int {
+		g := idx.Graph()
+		out := make([][]int, g.N())
+		for i := range out {
+			out[i] = append([]int(nil), g.Neighbors(i)...)
+		}
+		return out
+	}
+	check := func(ctx string, before [][]int) {
+		t.Helper()
+		g := idx.Graph()
+		for i := 0; i < g.N() && i < len(before); i++ {
+			cur := g.Neighbors(i)
+			same := len(cur) == len(before[i])
+			if same {
+				for k := range cur {
+					if cur[k] != before[i][k] {
+						same = false
+						break
+					}
+				}
+			}
+			if !same && !notified[i] {
+				t.Fatalf("%s: node %d's adjacency changed without notification", ctx, i)
+			}
+		}
+	}
+
+	for iter := 0; iter < 60; iter++ {
+		before := adjCopy()
+		clear(notified)
+		switch src.Intn(4) {
+		case 0:
+			for j := 0; j < 1+src.Intn(4); j++ {
+				i := src.Intn(len(pts))
+				pts[i].X = src.Float64()
+				pts[i].Y = src.Float64()
+			}
+			if _, err := idx.Update(pts); err != nil {
+				t.Fatal(err)
+			}
+			check("update", before)
+		case 1:
+			p := geom.Point{X: src.Float64(), Y: src.Float64()}
+			idx.Append(p)
+			pts = append(pts, p)
+			check("append", before)
+		case 2:
+			idx.Deactivate(src.Intn(len(pts)))
+			check("deactivate", before)
+		case 3:
+			idx.Reactivate(src.Intn(len(pts)))
+			check("reactivate", before)
+		}
+	}
+}

@@ -42,6 +42,14 @@ type GridIndex struct {
 	newNbrs   []int
 	added     []int
 	removed   []int
+
+	// onAdjChange, when set, is invoked once per node whose adjacency
+	// list was changed by an incremental operation (Update, Append,
+	// Deactivate, Reactivate) — both endpoints of every created or
+	// vanished edge. It is the topology-delta feed the frontier step
+	// engine activates its worklist from. Duplicate notifications are
+	// allowed; missing ones are not.
+	onAdjChange func(i int)
 }
 
 // NewGridIndex builds the index and its unit-disk graph over pts: nodes
@@ -169,6 +177,21 @@ func (gi *GridIndex) collectNeighbors(i int, dst []int) []int {
 	return dst
 }
 
+// SetOnAdjacencyChange installs fn as the adjacency-delta hook: every
+// incremental operation calls it for each node whose edge set changed
+// (both endpoints of every created or vanished edge), before the
+// operation returns. nil disables it. The step engine wires this to its
+// frontier activation so a mobility or churn delta re-examines exactly
+// the affected radio neighborhoods.
+func (gi *GridIndex) SetOnAdjacencyChange(fn func(i int)) { gi.onAdjChange = fn }
+
+// noteAdj fires the adjacency hook for node i.
+func (gi *GridIndex) noteAdj(i int) {
+	if gi.onAdjChange != nil {
+		gi.onAdjChange(i)
+	}
+}
+
 // Graph returns the maintained unit-disk graph. The graph is updated in
 // place by Update; callers that need a frozen snapshot must Clone it.
 func (gi *GridIndex) Graph() *Graph { return gi.g }
@@ -228,15 +251,23 @@ func (gi *GridIndex) Update(pts []geom.Point) (*Graph, error) {
 		i := int(mi)
 		gi.newNbrs = gi.collectNeighbors(i, gi.newNbrs)
 		gi.added, gi.removed = diffSorted(gi.g.adj[i], gi.newNbrs, gi.added, gi.removed)
+		// Both endpoints of every changed edge are notified: unmoved ones
+		// here as they are patched, moved ones when their own diff comes
+		// up non-empty (the symmetric distance test guarantees it does).
 		for _, j := range gi.removed {
 			if !gi.movedFlag[j] {
 				gi.g.adj[j] = removeSorted(gi.g.adj[j], i)
+				gi.noteAdj(j)
 			}
 		}
 		for _, j := range gi.added {
 			if !gi.movedFlag[j] {
 				gi.g.adj[j] = insertSorted(gi.g.adj[j], i)
+				gi.noteAdj(j)
 			}
+		}
+		if len(gi.added)+len(gi.removed) > 0 {
+			gi.noteAdj(i)
 		}
 		gi.g.adj[i] = append(gi.g.adj[i][:0], gi.newNbrs...)
 	}
@@ -260,8 +291,12 @@ func (gi *GridIndex) Append(p geom.Point) int {
 		gi.newNbrs = gi.collectNeighbors(i, gi.newNbrs)
 		for _, j := range gi.newNbrs {
 			gi.g.adj[j] = insertSorted(gi.g.adj[j], i)
+			gi.noteAdj(j)
 		}
 		gi.g.adj[i] = append(gi.g.adj[i][:0], gi.newNbrs...)
+		if len(gi.newNbrs) > 0 {
+			gi.noteAdj(i)
+		}
 	}
 	return i
 }
@@ -280,6 +315,10 @@ func (gi *GridIndex) Deactivate(i int) {
 	gi.inactive[i] = true
 	for _, j := range gi.g.adj[i] {
 		gi.g.adj[j] = removeSorted(gi.g.adj[j], i)
+		gi.noteAdj(j)
+	}
+	if len(gi.g.adj[i]) > 0 {
+		gi.noteAdj(i)
 	}
 	gi.g.adj[i] = gi.g.adj[i][:0]
 }
@@ -299,8 +338,12 @@ func (gi *GridIndex) Reactivate(i int) {
 		gi.newNbrs = gi.collectNeighbors(i, gi.newNbrs)
 		for _, j := range gi.newNbrs {
 			gi.g.adj[j] = insertSorted(gi.g.adj[j], i)
+			gi.noteAdj(j)
 		}
 		gi.g.adj[i] = append(gi.g.adj[i][:0], gi.newNbrs...)
+		if len(gi.newNbrs) > 0 {
+			gi.noteAdj(i)
+		}
 	}
 }
 
@@ -308,6 +351,46 @@ func (gi *GridIndex) Reactivate(i int) {
 // not been Deactivated).
 func (gi *GridIndex) Active(i int) bool {
 	return i >= 0 && i < len(gi.pts) && !gi.inactive[i]
+}
+
+// Compact drops the slots remap marks as removed (remap[old] < 0) and
+// renumbers survivors, truncating the index to newN nodes — the
+// dead-slot recycling half of the engine's Compact. Removed slots must
+// be inactive (Deactivated), which holds for every dead node. Cell
+// buckets are rebuilt from the surviving active population; positions,
+// cells and the activity flags move in place; the maintained graph is
+// compacted with the same remap. The adjacency hook does not fire: no
+// survivor's neighbor set changes, only its numbering.
+func (gi *GridIndex) Compact(remap []int32, newN int) error {
+	if len(remap) != len(gi.pts) {
+		return fmt.Errorf("topology: remap of %d entries for %d indexed nodes", len(remap), len(gi.pts))
+	}
+	for old, nw := range remap {
+		if nw < 0 {
+			if !gi.inactive[old] {
+				return fmt.Errorf("topology: compacting active node %d", old)
+			}
+			continue
+		}
+		gi.pts[nw] = gi.pts[old]
+		gi.cell[nw] = gi.cell[old]
+		gi.inactive[nw] = gi.inactive[old]
+	}
+	gi.pts = gi.pts[:newN]
+	gi.cell = gi.cell[:newN]
+	gi.inactive = gi.inactive[:newN]
+	for c := range gi.buckets {
+		gi.buckets[c] = gi.buckets[c][:0]
+	}
+	for i := range gi.pts {
+		if !gi.inactive[i] {
+			gi.buckets[gi.cell[i]] = append(gi.buckets[gi.cell[i]], int32(i))
+		}
+	}
+	if len(gi.movedFlag) > newN {
+		gi.movedFlag = gi.movedFlag[:newN]
+	}
+	return gi.g.Compact(remap, newN)
 }
 
 // bucketRemove drops node id from cell c's bucket (swap-remove).
@@ -320,6 +403,81 @@ func (gi *GridIndex) bucketRemove(c, id int32) {
 			return
 		}
 	}
+}
+
+// Builder amortizes repeated from-scratch unit-disk constructions — a
+// mobility trace resampling FromPoints every step, or an experiment
+// deploying thousands of instances — by reusing every internal buffer
+// (cells, buckets, adjacency rows) across Build calls. The returned
+// graph is owned by the builder and valid only until the next Build;
+// Clone it to retain. For incremental maintenance of one persistent
+// topology use GridIndex.Update instead; the builder is for workloads
+// that genuinely rebuild.
+type Builder struct {
+	gi *GridIndex
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Build is FromPoints into the builder's reused buffers: nodes u != v are
+// adjacent iff their Euclidean distance is at most r.
+func (b *Builder) Build(pts []geom.Point, r float64) *Graph {
+	if b.gi == nil {
+		b.gi = NewGridIndex(pts, r)
+		return b.gi.g
+	}
+	return b.gi.rebuild(pts, r)
+}
+
+// rebuild re-anchors the index on pts and reconstructs cells, buckets and
+// adjacency from scratch into the retained buffers.
+func (gi *GridIndex) rebuild(pts []geom.Point, r float64) *Graph {
+	n := len(pts)
+	gi.r, gi.r2 = r, r*r
+	if cap(gi.pts) < n {
+		gi.pts = make([]geom.Point, n)
+	} else {
+		gi.pts = gi.pts[:n]
+	}
+	copy(gi.pts, pts)
+	if cap(gi.cell) < n {
+		gi.cell = make([]int32, n)
+	} else {
+		gi.cell = gi.cell[:n]
+	}
+	if cap(gi.inactive) < n {
+		gi.inactive = make([]bool, n)
+	} else {
+		gi.inactive = gi.inactive[:n]
+		for i := range gi.inactive {
+			gi.inactive[i] = false
+		}
+	}
+	gi.sizeGrid(nil)
+	cells := gi.cols * gi.rows
+	if cap(gi.buckets) < cells {
+		old := gi.buckets
+		gi.buckets = make([][]int32, cells)
+		copy(gi.buckets, old) // keep the old inner buckets' capacity
+	} else {
+		gi.buckets = gi.buckets[:cells]
+	}
+	for c := range gi.buckets {
+		gi.buckets[c] = gi.buckets[c][:0]
+	}
+	for i, p := range gi.pts {
+		c := gi.cellOf(p)
+		gi.cell[i] = c
+		gi.buckets[c] = append(gi.buckets[c], int32(i))
+	}
+	gi.g.resetTo(n)
+	if r > 0 {
+		for i := range gi.pts {
+			gi.g.adj[i] = gi.collectNeighbors(i, gi.g.adj[i])
+		}
+	}
+	return gi.g
 }
 
 // diffSorted computes newList minus oldList (added) and oldList minus

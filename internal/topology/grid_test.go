@@ -183,6 +183,27 @@ func BenchmarkFromPointsMobility(b *testing.B) {
 	}
 }
 
+// BenchmarkBuilderMobility is the same rebuild-every-step workload
+// through the reusable Builder: construction buffers (cells, buckets,
+// adjacency rows) survive across builds, so the per-step allocation
+// bill of BenchmarkFromPointsMobility (~674 KB / 6.5k allocs) collapses
+// to whatever the jitter actually grew.
+func BenchmarkBuilderMobility(b *testing.B) {
+	src := rng.New(7)
+	pts := randPoints(1000, src)
+	builder := NewBuilder()
+	builder.Build(pts, 0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range pts {
+			pts[j].X += (src.Float64() - 0.5) * 0.004
+			pts[j].Y += (src.Float64() - 0.5) * 0.004
+		}
+		builder.Build(pts, 0.1)
+	}
+}
+
 // churnOracle builds the expected unit-disk graph over the active subset
 // by brute force: active pairs within range are adjacent, inactive slots
 // are isolated vertices.

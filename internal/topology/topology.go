@@ -42,6 +42,23 @@ func FromPoints(pts []geom.Point, r float64) *Graph {
 // N returns the number of nodes.
 func (g *Graph) N() int { return len(g.adj) }
 
+// resetTo empties the graph and resizes it to n nodes, keeping each
+// adjacency row's backing array for reuse (the Builder's rebuild path).
+func (g *Graph) resetTo(n int) {
+	if cap(g.adj) < n {
+		old := g.adj
+		g.adj = make([][]int, n)
+		copy(g.adj, old) // keep the old rows' capacity
+	} else {
+		g.adj = g.adj[:n]
+	}
+	for i := range g.adj {
+		if g.adj[i] != nil {
+			g.adj[i] = g.adj[i][:0]
+		}
+	}
+}
+
 // AddNode appends a new isolated vertex and returns its index. Indices of
 // existing nodes are unaffected — the graph only ever grows at the end, so
 // dense per-node arrays elsewhere stay aligned under churn.
@@ -259,17 +276,62 @@ func (g *Graph) Diameter() int {
 // e = (v, w) with w in {u} ∪ N(u) and v in N(u) — the numerator of the
 // paper's density metric (Definition 1). Equivalently: deg(u) plus the
 // number of edges between two neighbors of u.
+//
+// The neighbor-neighbor count is a sorted-list intersection: for each
+// v in N(u), |adj(v) ∩ {w in N(u) : w > v}| by merge scan over the two
+// sorted lists — O(deg(u) × (deg(u) + deg(v))) total instead of the
+// O(deg(u)² × log deg) of a per-pair binary-search membership probe.
 func (g *Graph) ClosedNeighborhoodLinks(u int) int {
 	nbrs := g.adj[u]
 	count := len(nbrs) // edges from u to each neighbor
 	for i, v := range nbrs {
-		for _, w := range nbrs[i+1:] {
-			if g.HasEdge(v, w) {
+		above := nbrs[i+1:] // only w > v: each neighbor edge counted once
+		va := g.adj[v]
+		// Skip adj(v) entries <= v fast; both lists ascend from here.
+		ai := sort.SearchInts(va, v+1)
+		bi := 0
+		for ai < len(va) && bi < len(above) {
+			switch {
+			case va[ai] == above[bi]:
 				count++
+				ai++
+				bi++
+			case va[ai] < above[bi]:
+				ai++
+			default:
+				bi++
 			}
 		}
 	}
 	return count
+}
+
+// Compact drops the slots remap marks as removed (remap[old] < 0) and
+// renumbers the survivors to remap[old], truncating the graph to newN
+// nodes. remap must be monotone on survivors (slot order preserved) and
+// every removed slot must already be isolated — both hold by construction
+// for dead-node recycling, where departed nodes had their edges detached
+// at death. Adjacency rows keep their backing arrays; sorted order is
+// preserved because the remap is monotone.
+func (g *Graph) Compact(remap []int32, newN int) error {
+	if len(remap) != len(g.adj) {
+		return fmt.Errorf("topology: remap of %d entries for %d nodes", len(remap), len(g.adj))
+	}
+	for old, nw := range remap {
+		if nw < 0 {
+			if len(g.adj[old]) != 0 {
+				return fmt.Errorf("topology: compacting node %d with %d live edges", old, len(g.adj[old]))
+			}
+			continue
+		}
+		row := g.adj[old]
+		for k, v := range row {
+			row[k] = int(remap[v])
+		}
+		g.adj[nw] = row
+	}
+	g.adj = g.adj[:newN]
+	return nil
 }
 
 // Clone returns a deep copy of g.

@@ -130,10 +130,12 @@ func (e *Engine) Stats() Stats {
 	if e.acc.stretchCount > 0 {
 		s.MeanStretch = e.acc.stretchSum / float64(e.acc.stretchCount)
 	}
-	// MeanLoad averages over the operating population: dead slots are
-	// never recycled under churn and would silently dilute the baseline
-	// the MaxLoad-vs-MeanLoad hotspot comparison rests on.
-	total := int64(0)
+	// MeanLoad averages over the operating population: dead slots would
+	// silently dilute the baseline the MaxLoad-vs-MeanLoad hotspot
+	// comparison rests on. Slots recycled by Compact contribute through
+	// the retired carry so the ledger is invariant across a compaction.
+	total := e.retiredLoad
+	s.MaxLoad = e.retiredMaxLoad
 	operating := 0
 	for i, l := range e.load {
 		total += l

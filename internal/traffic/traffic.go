@@ -163,6 +163,27 @@ type Engine struct {
 	load     []int64 // forwarding events per node (transmissions)
 	recv     []int64 // reception events per node (one per transmission, at the receiver)
 
+	// busy is the forwarding worklist: the ascending indices of nodes
+	// whose queue held packets at last sight (emptied entries are culled
+	// lazily at the next pass). The forwarding phase walks it instead of
+	// all n nodes, so an idle 100k-node network pays for its traffic, not
+	// its size — and because the list stays sorted, the visit order (and
+	// hence every queue interleaving) is bit-identical to the historical
+	// full scan. arrList collects the receivers with staged arrivals for
+	// the merge phase the same way.
+	busy     []int32
+	busyFlag []bool
+	arrList  []int32
+	arrFlag  []bool
+
+	// Retired accounting: per-node counters of slots dropped by Compact,
+	// folded into Stats totals so the ledger is invariant across a
+	// compaction (a dead node's forwarding history doesn't vanish with
+	// its slot).
+	retiredLoad    int64
+	retiredRecv    int64
+	retiredMaxLoad int64
+
 	acc      acc
 	step     int // the protocol's absolute completed-step count
 	stepsRun int // how many steps this data plane itself has run
@@ -194,6 +215,8 @@ func New(n int, cfg Config, hooks Hooks, src *rng.Source) (*Engine, error) {
 		arrivals: make([][]packet, n),
 		load:     make([]int64, n),
 		recv:     make([]int64, n),
+		busyFlag: make([]bool, n),
+		arrFlag:  make([]bool, n),
 		flows:    make([]flowState, len(cfg.Flows)),
 	}
 	for i := range e.queues {
@@ -225,15 +248,26 @@ func (e *Engine) Step(step int) error {
 		}
 	}
 
-	// Phase 2: forwarding, in node-index order. Moves are staged so a
-	// packet advances exactly one hop per step no matter the node order.
-	// Dead nodes' queues were flushed when they died; a sleeping node's
-	// queue is frozen until it wakes.
-	for u := 0; u < e.n; u++ {
+	// Phase 2: forwarding, over the busy worklist in node-index order —
+	// the same visit sequence as a full scan over non-empty queues, at
+	// O(busy) instead of O(n). Moves are staged so a packet advances
+	// exactly one hop per step no matter the node order. Dead nodes'
+	// queues were flushed when they died; a sleeping node's queue is
+	// frozen until it wakes (its worklist entry idles with it). Entries
+	// whose queue emptied since the last pass are culled here.
+	w := 0
+	for _, bu := range e.busy {
+		u := int(bu)
+		q := &e.queues[u]
+		if q.count == 0 {
+			e.busyFlag[u] = false
+			continue
+		}
+		e.busy[w] = bu
+		w++
 		if !e.alive(u) {
 			continue
 		}
-		q := &e.queues[u]
 		for b := e.cfg.Budget; b > 0 && q.count > 0; b-- {
 			p := q.pop()
 			if !e.alive(int(p.dst)) {
@@ -266,28 +300,63 @@ func (e *Engine) Step(step int) error {
 				e.deliver(p)
 				continue
 			}
+			if len(e.arrivals[next]) == 0 && !e.arrFlag[next] {
+				e.arrFlag[next] = true
+				e.arrList = append(e.arrList, int32(next))
+			}
 			e.arrivals[next] = append(e.arrivals[next], p)
 		}
 	}
+	e.busy = e.busy[:w]
 
-	// Phase 3: merge staged arrivals, in node-index order.
-	for v := 0; v < e.n; v++ {
+	// Phase 3: merge staged arrivals. Only the order of packets within
+	// one receiver's staging buffer matters (it decides the FIFO and the
+	// overflow casualties), and that order was fixed in phase 2; the
+	// receivers themselves are independent, so the worklist needs no
+	// sort.
+	for _, av := range e.arrList {
+		v := int(av)
 		staged := e.arrivals[v]
-		if len(staged) == 0 {
-			continue
-		}
-		q := &e.queues[v]
 		for _, p := range staged {
-			e.admit(q, p)
+			e.admit(v, p)
 		}
 		e.arrivals[v] = staged[:0]
+		e.arrFlag[v] = false
 	}
+	e.arrList = e.arrList[:0]
 	return nil
 }
 
 // alive applies the optional liveness hook (nil: everything is alive).
+// Negative indices — the post-compaction sentinel for a recycled
+// endpoint — are never alive.
 func (e *Engine) alive(i int) bool {
+	if i < 0 {
+		return false
+	}
 	return e.hooks.Alive == nil || e.hooks.Alive(i)
+}
+
+// markBusy puts node v on the forwarding worklist, keeping it sorted by
+// node index (steady-state flows re-use their membership, so the insert
+// cost is paid only when a new relay lights up).
+func (e *Engine) markBusy(v int) {
+	if e.busyFlag[v] {
+		return
+	}
+	e.busyFlag[v] = true
+	lo, hi := 0, len(e.busy)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(e.busy[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.busy = append(e.busy, 0)
+	copy(e.busy[lo+1:], e.busy[lo:])
+	e.busy[lo] = int32(v)
 }
 
 // inject creates one packet on flow fi and enqueues it at the source.
@@ -310,14 +379,17 @@ func (e *Engine) inject(fi int, f *flowState) {
 		return
 	}
 	f.refreshFlatDist(e.hooks)
-	e.admit(&e.queues[src], packet{flow: int32(fi), dst: int32(dst), born: int32(e.step)})
+	e.admit(src, packet{flow: int32(fi), dst: int32(dst), born: int32(e.step)})
 }
 
-// admit pushes p onto q, applying the overflow discipline. Exactly one
-// packet dies on overflow: the arrival under DropTail, the oldest queued
-// packet under DropHead (per-flow drop accounting follows the casualty).
-func (e *Engine) admit(q *ring, p packet) {
+// admit pushes p onto node v's queue, applying the overflow discipline,
+// and keeps v on the forwarding worklist. Exactly one packet dies on
+// overflow: the arrival under DropTail, the oldest queued packet under
+// DropHead (per-flow drop accounting follows the casualty).
+func (e *Engine) admit(v int, p packet) {
+	q := &e.queues[v]
 	if q.push(p) {
+		e.markBusy(v)
 		return
 	}
 	e.acc.dropsQueue++
@@ -360,11 +432,103 @@ func (e *Engine) Resize(n int) {
 		e.arrivals = append(e.arrivals, nil)
 		e.load = append(e.load, 0)
 		e.recv = append(e.recv, 0)
+		e.busyFlag = append(e.busyFlag, false)
+		e.arrFlag = append(e.arrFlag, false)
 	}
 	if n > e.n {
 		e.n = n
 	}
 }
+
+// Compact applies the engine-wide dead-slot recycling remap (see
+// runtime.Engine.CompactionRemap): per-node state moves to the
+// survivors' new indices, in-flight packets have their destination
+// renumbered (a destination whose slot was dropped becomes the negative
+// never-alive sentinel and is accounted a dead-endpoint drop when it is
+// next popped, exactly as before the compaction), and flow endpoints are
+// renumbered the same way. The forwarding history of dropped slots folds
+// into retired counters so the ledger is invariant across the call.
+// Dropped slots' queues must already be empty — the churn layer flushes
+// a queue at its node's death. Call only between steps.
+func (e *Engine) Compact(remap []int32, newN int) error {
+	if len(remap) != len(e.queues) {
+		return fmt.Errorf("traffic: remap of %d entries for %d nodes", len(remap), len(e.queues))
+	}
+	for old, nw := range remap {
+		if nw >= 0 {
+			continue
+		}
+		if e.queues[old].count != 0 {
+			return fmt.Errorf("traffic: compacting node %d with %d queued packets (flush it first)", old, e.queues[old].count)
+		}
+		e.retiredLoad += e.load[old]
+		e.retiredRecv += e.recv[old]
+		if e.load[old] > e.retiredMaxLoad {
+			e.retiredMaxLoad = e.load[old]
+		}
+	}
+	for old, nw := range remap {
+		if nw < 0 {
+			continue
+		}
+		i := int(nw)
+		e.queues[i] = e.queues[old]
+		e.arrivals[i] = e.arrivals[old]
+		e.load[i] = e.load[old]
+		e.recv[i] = e.recv[old]
+	}
+	e.queues = e.queues[:newN]
+	e.arrivals = e.arrivals[:newN]
+	e.load = e.load[:newN]
+	e.recv = e.recv[:newN]
+	e.arrFlag = e.arrFlag[:newN]
+	for i := range e.busyFlag {
+		e.busyFlag[i] = false
+	}
+	e.busyFlag = e.busyFlag[:newN]
+	kept := e.busy[:0]
+	for _, bu := range e.busy {
+		if nw := remap[bu]; nw >= 0 {
+			kept = append(kept, nw) // monotone remap keeps the sort
+			e.busyFlag[nw] = true
+		}
+	}
+	e.busy = kept
+	for i := range e.queues {
+		q := &e.queues[i]
+		for k := 0; k < q.count; k++ {
+			p := &q.buf[(q.head+k)%len(q.buf)]
+			if p.dst >= 0 {
+				p.dst = remap[p.dst] // -1 for a dropped destination
+			}
+		}
+	}
+	for i := range e.flows {
+		f := &e.flows[i]
+		if f.spec.Src >= 0 {
+			// A dropped source pauses the flow forever — exactly its
+			// behavior while the source slot was dead.
+			f.spec.Src = int(remap[f.spec.Src])
+		}
+		if f.spec.Dst >= 0 {
+			// A dropped destination turns every injection into a
+			// dead-endpoint drop, as it already did.
+			f.spec.Dst = int(remap[f.spec.Dst])
+		}
+		// The cached flat distance stays: compaction relabels the graph
+		// isomorphically, so the value is exactly as (in)valid as it was,
+		// and in-flight deliveries must keep sampling stretch against it
+		// just like an uncompacted run. The caller's topology-epoch bump
+		// triggers the (value-identical) recompute at the next injection.
+	}
+	e.n = newN
+	return nil
+}
+
+// RetiredLoad returns the total forwarding events of slots dropped by
+// Compact — callers summing Load() for a share denominator must add it
+// so ratios stay invariant across compactions.
+func (e *Engine) RetiredLoad() int64 { return e.retiredLoad }
 
 // FlushNode drops every packet queued at node i, accounting each as a
 // dead-endpoint drop — the fate of a queue lost to a crash or a permanent

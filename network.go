@@ -33,11 +33,39 @@ func (n *Network) Range() float64 { return n.cfg.radioRng }
 func (n *Network) StepCount() int { return n.engine.StepCount() }
 
 // Step advances the protocol by one Δ(τ) step: every node broadcasts once
-// and evaluates its guarded assignments.
-func (n *Network) Step() error { return n.engine.Step() }
+// and evaluates its guarded assignments. With frontier stepping active
+// (the default on a lossless medium with a synchronous daemon) only the
+// nodes whose inputs could have changed are examined, so a stabilized
+// network steps in O(1) regardless of size. An auto-compaction threshold
+// (SetAutoCompact) is checked before the step.
+func (n *Network) Step() error {
+	if err := n.maybeAutoCompact(); err != nil {
+		return err
+	}
+	return n.engine.Step()
+}
 
 // Run advances the protocol by exactly steps steps.
-func (n *Network) Run(steps int) error { return n.engine.Run(steps) }
+func (n *Network) Run(steps int) error {
+	for i := 0; i < steps; i++ {
+		if err := n.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetSparseStepping toggles the frontier (worklist) step engine. It is
+// on by default whenever the configuration supports it — a lossless
+// medium (no WithTau / WithSlottedRadio) and a synchronous daemon (no
+// WithDaemon below 1) — and produces bit-identical executions to the
+// full scan; the toggle exists for the equivalence oracle tests and for
+// benchmarking the dense baseline. Enabling it on an unsupported
+// configuration returns an error.
+func (n *Network) SetSparseStepping(on bool) error { return n.engine.SetSparse(on) }
+
+// SparseStepping reports whether the frontier step engine is active.
+func (n *Network) SparseStepping() bool { return n.engine.Sparse() }
 
 // Stabilize steps the protocol until the shared state stops changing
 // (stable for the configured window, default 5 steps — see
@@ -57,7 +85,21 @@ func (n *Network) Stabilize(maxSteps int) (int, error) {
 	if n.engine.DisruptionOpen() || n.churnAttached {
 		win = max(win, n.engine.ConvergenceWindow())
 	}
-	return n.engine.RunUntilStable(maxSteps, win)
+	// The loop mirrors the engine's RunUntilStable but drives Network.Step
+	// so the auto-compaction threshold applies mid-stabilization too.
+	start := n.engine.StepCount()
+	for s := 1; s <= maxSteps; s++ {
+		if err := n.Step(); err != nil {
+			return 0, err
+		}
+		if n.engine.StepCount()-n.engine.LastChange() >= win {
+			if lc := n.engine.LastChange(); lc > start {
+				return lc - start, nil
+			}
+			return 0, nil
+		}
+	}
+	return 0, runtime.ErrNotStabilized
 }
 
 // InjectFaults corrupts each node's protocol state and neighbor caches
@@ -272,9 +314,12 @@ func (n *Network) SetPositions(positions []Point) error {
 	if err != nil {
 		return err
 	}
-	if err := n.engine.SetGraph(g); err != nil {
-		return err
-	}
+	// Update repaired the engine's graph in place and — via the grid's
+	// adjacency hook — activated exactly the nodes whose edge sets moved,
+	// so the frontier re-examines the motion, not the network. Only the
+	// epoch needs advancing (a SetGraph here would conservatively
+	// re-examine all N nodes).
+	n.engine.NoteTopologyChanged()
 	n.pts = pts
 	n.g = g
 	n.topoEpoch++ // flat-routing and stretch baselines are stale now

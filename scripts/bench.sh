@@ -1,17 +1,26 @@
 #!/usr/bin/env bash
 # bench.sh — the repo's performance trajectory harness.
 #
-# Runs go vet and the race-instrumented determinism tests (the safety net
-# for the parallel step engine, the traffic data plane, the churn
-# subsystem and the energy subsystem), then benchmarks the core packages
-# with -benchmem and records every sample in BENCH_step.json — plus the
-# routing/traffic suite in BENCH_traffic.json, the churn suite in
-# BENCH_churn.json and the energy suite in BENCH_energy.json — so
-# successive runs can be compared (benchstat on the raw text, or any tool
-# on the JSON).
+# Runs go vet and the race-instrumented determinism and equivalence
+# tests (the safety net for the parallel step engine, the frontier
+# worklist engine, the traffic data plane, the churn subsystem and the
+# energy subsystem), then benchmarks the core packages with -benchmem
+# and records every sample in BENCH_step.json — plus the routing/traffic
+# suite in BENCH_traffic.json, the churn suite in BENCH_churn.json, the
+# energy suite in BENCH_energy.json and the 100k-scale suite (quiescent
+# frontier stepping, perturbed 100k step, slot compaction) in
+# BENCH_scale.json — so successive runs can be compared (benchstat on
+# the raw text, or any tool on the JSON).
+#
+# After generating the fresh numbers, a regression gate compares the
+# median ns/op of every step-time benchmark against the committed
+# BENCH_*.json baselines captured at script start and fails the run on a
+# >20% regression (scripts/benchgate). Set SKIP_BENCH_GATE=1 to record a
+# new baseline through a known regression.
 #
 # Usage: scripts/bench.sh [count]
-#   count  benchmark repetitions per benchmark (default 5)
+#   count        benchmark repetitions per benchmark (default 5)
+#   SCALE_COUNT  repetitions for the expensive 100k suite (default 3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,13 +34,24 @@ CHURN_RAW="BENCH_churn.txt"
 CHURN_JSON="BENCH_churn.json"
 ENERGY_RAW="BENCH_energy.txt"
 ENERGY_JSON="BENCH_energy.json"
+SCALE_RAW="BENCH_scale.txt"
+SCALE_JSON="BENCH_scale.json"
+SCALE_COUNT="${SCALE_COUNT:-3}"
+
+# Capture the committed baselines before anything overwrites them: these
+# are what the regression gate at the end compares against.
+BASELINE_DIR="$(mktemp -d)"
+trap 'rm -rf "$BASELINE_DIR"' EXIT
+for f in "$JSON" "$TRAFFIC_JSON" "$CHURN_JSON" "$ENERGY_JSON" "$SCALE_JSON"; do
+    [ -f "$f" ] && cp "$f" "$BASELINE_DIR/$f"
+done
 
 echo "== go vet" >&2
 go vet ./...
 
 echo "== race-instrumented determinism tests" >&2
-go test -race -run 'TestParallelDeterminism|TestParallelMatchesSequentialStabilization|TestEngineChurnParallelDeterminism' ./internal/runtime
-go test -race -run 'TestTrafficDeterminism|TestChurnDeterminism|TestEnergyDeterminism' .
+go test -race -run 'TestParallelDeterminism|TestParallelMatchesSequentialStabilization|TestEngineChurnParallelDeterminism|TestSparseMatchesDenseMixedTrace' ./internal/runtime
+go test -race -run 'TestTrafficDeterminism|TestChurnDeterminism|TestEnergyDeterminism|TestNetworkSparseMatchesDense|TestCompactTwinEquivalence' .
 
 echo "== benchmarks (count=$COUNT)" >&2
 go test -run '^$' -bench . -benchmem -count "$COUNT" "${PKGS[@]}" | tee "$RAW"
@@ -47,6 +67,10 @@ go test -run '^$' -bench 'BenchmarkChurnStep1000' \
 echo "== energy benchmarks (count=$COUNT)" >&2
 go test -run '^$' -bench 'BenchmarkEnergyStep1000' \
     -benchmem -count "$COUNT" . | tee "$ENERGY_RAW"
+
+echo "== scale benchmarks (count=$SCALE_COUNT)" >&2
+SELFSTAB_SCALE_BENCH=1 go test -run '^$' -bench 'BenchmarkQuiescentStep|BenchmarkStep100k|BenchmarkCompact' \
+    -benchmem -benchtime 0.5s -count "$SCALE_COUNT" -timeout 60m ./internal/runtime | tee "$SCALE_RAW"
 
 # bench_to_json converts benchmark lines into a JSON array. Lines look like:
 #   BenchmarkStep1000   232   4536778 ns/op   64 B/op   2 allocs/op
@@ -78,5 +102,19 @@ bench_to_json "$RAW" > "$JSON"
 bench_to_json "$TRAFFIC_RAW" > "$TRAFFIC_JSON"
 bench_to_json "$CHURN_RAW" > "$CHURN_JSON"
 bench_to_json "$ENERGY_RAW" > "$ENERGY_JSON"
+bench_to_json "$SCALE_RAW" > "$SCALE_JSON"
 
-echo "== wrote $RAW, $JSON, $TRAFFIC_RAW, $TRAFFIC_JSON, $CHURN_RAW, $CHURN_JSON, $ENERGY_RAW and $ENERGY_JSON" >&2
+echo "== wrote $RAW, $JSON, $TRAFFIC_RAW, $TRAFFIC_JSON, $CHURN_RAW, $CHURN_JSON, $ENERGY_RAW, $ENERGY_JSON, $SCALE_RAW and $SCALE_JSON" >&2
+
+if [ "${SKIP_BENCH_GATE:-0}" = "1" ]; then
+    echo "== bench-regression gate skipped (SKIP_BENCH_GATE=1)" >&2
+else
+    echo "== bench-regression gate (fail on >20% step-time regression vs committed baselines)" >&2
+    for f in "$JSON" "$TRAFFIC_JSON" "$CHURN_JSON" "$ENERGY_JSON" "$SCALE_JSON"; do
+        if [ -f "$BASELINE_DIR/$f" ]; then
+            go run ./scripts/benchgate -baseline "$BASELINE_DIR/$f" -fresh "$f" -threshold 1.2 -match Step
+        else
+            echo "benchgate: no committed baseline for $f; skipping" >&2
+        fi
+    done
+fi

@@ -1,0 +1,107 @@
+// Command benchgate is the bench-regression gate behind scripts/bench.sh:
+// it compares a freshly generated BENCH_*.json against the committed
+// baseline copy and fails (exit 1) when the median ns/op of any step-time
+// benchmark regressed beyond the threshold factor.
+//
+//	go run ./scripts/benchgate -baseline old.json -fresh new.json [-threshold 1.2] [-match Step]
+//
+// Benchmarks present on only one side are skipped (new benchmarks are
+// not regressions; retired ones are not failures), so the gate tracks
+// the trajectory without blocking additions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type sample struct {
+	Package string   `json:"package"`
+	Name    string   `json:"name"`
+	NsPerOp *float64 `json:"ns_per_op"`
+}
+
+func medians(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var samples []sample
+	if err := json.Unmarshal(raw, &samples); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byKey := map[string][]float64{}
+	for _, s := range samples {
+		if s.NsPerOp == nil {
+			continue
+		}
+		key := s.Package + " " + s.Name
+		byKey[key] = append(byKey[key], *s.NsPerOp)
+	}
+	out := make(map[string]float64, len(byKey))
+	for key, vals := range byKey {
+		sort.Float64s(vals)
+		out[key] = vals[len(vals)/2]
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "committed baseline BENCH_*.json")
+		fresh     = flag.String("fresh", "", "freshly generated BENCH_*.json")
+		threshold = flag.Float64("threshold", 1.2, "fail when fresh median exceeds baseline median by this factor")
+		match     = flag.String("match", "Step", "regexp a benchmark name must match to be gated")
+	)
+	flag.Parse()
+	if *baseline == "" || *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -fresh are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	base, err := medians(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := medians(*fresh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	keys := make([]string, 0, len(cur))
+	for key := range cur {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	failed := false
+	for _, key := range keys {
+		if !re.MatchString(key) {
+			continue
+		}
+		b, ok := base[key]
+		if !ok || b <= 0 {
+			continue // new benchmark: nothing to regress against
+		}
+		c := cur[key]
+		ratio := c / b
+		status := "ok"
+		if ratio > *threshold {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("benchgate: %-70s %12.0f -> %12.0f ns/op (%.2fx) %s\n", key, b, c, ratio, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: step-time regression beyond %.2fx against %s\n", *threshold, *baseline)
+		os.Exit(1)
+	}
+}

@@ -136,6 +136,12 @@ func (n *Network) AttachTraffic(cfg TrafficConfig) error {
 	if err != nil {
 		return err
 	}
+	// Pin each flow's endpoints by identifier: indices renumber under
+	// Compact, so the per-flow ledger addresses flows by id instead.
+	n.flowIDs = make([]flowEndpointIDs, len(specs))
+	for i, s := range specs {
+		n.flowIDs[i] = flowEndpointIDs{src: n.ids[s.Src], dst: n.ids[s.Dst]}
+	}
 	n.traffic = t
 	n.trafficOn = true
 	n.installStepPhases()
@@ -288,9 +294,11 @@ func (n *Network) TrafficStats() (TrafficStats, error) {
 	}
 	// Head accounting over the operating population only: a dead slot's
 	// state is reset to self-head and a sleeping node's is frozen, so
-	// counting them would inflate the head fraction under churn.
+	// counting them would inflate the head fraction under churn. Slots
+	// recycled by Compact contribute their history via the retired carry.
 	load := n.traffic.Load()
-	var total, headLoad int64
+	total := n.traffic.RetiredLoad()
+	var headLoad int64
 	heads, operating := 0, 0
 	for i, l := range load {
 		total += l
@@ -312,7 +320,7 @@ func (n *Network) TrafficStats() (TrafficStats, error) {
 	out.PerFlow = make([]FlowTrafficStats, len(ts.Flows))
 	for i, f := range ts.Flows {
 		out.PerFlow[i] = FlowTrafficStats{
-			SrcID: n.ids[f.Src], DstID: n.ids[f.Dst],
+			SrcID: n.flowIDs[i].src, DstID: n.flowIDs[i].dst,
 			Offered: f.Offered, Delivered: f.Delivered, Dropped: f.Dropped,
 		}
 	}
