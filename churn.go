@@ -159,19 +159,13 @@ func (n *Network) ConvergenceStats() ConvergenceStats {
 }
 
 // Population counts the nodes in each lifecycle state. alive + sleeping +
-// dead always equals N() — dead slots are retained.
+// dead always equals N() — dead slots are retained. O(1): the engine
+// maintains alive and dead counters across every lifecycle transition, so
+// monitoring loops can poll this every step at any scale.
 func (n *Network) Population() (alive, sleeping, dead int) {
-	for i := range n.pts {
-		switch n.engine.Status(i) {
-		case runtime.StatusSleeping:
-			sleeping++
-		case runtime.StatusDead:
-			dead++
-		default:
-			alive++
-		}
-	}
-	return alive, sleeping, dead
+	alive = n.engine.AliveCount()
+	dead = n.engine.DeadCount()
+	return alive, len(n.pts) - alive - dead, dead
 }
 
 // AddNodes powers up new nodes at the given positions. They receive fresh
@@ -510,21 +504,18 @@ func (n *Network) churnPreStep(step int) error {
 }
 
 // pickAlive draws a uniform victim among alive nodes, honoring the
-// MinAlive floor. Index-order scan: deterministic and allocation-free.
+// MinAlive floor. The draw is the same k-th-alive-in-index-order pick the
+// original full scan produced — resolved through the engine's
+// order-statistic index in O(log N) instead of O(N), which is what keeps
+// churn steps cheap at million-node scale. Still allocation-free.
 func (n *Network) pickAlive() (int, bool) {
 	alive := n.engine.AliveCount()
 	if alive <= n.churn.cfg.MinAlive {
 		return -1, false
 	}
 	k := n.churn.src.Intn(alive)
-	for i := range n.pts {
-		if n.engine.Status(i) != runtime.StatusAlive {
-			continue
-		}
-		if k == 0 {
-			return i, true
-		}
-		k--
+	if i := n.engine.NthAlive(k); i >= 0 {
+		return i, true
 	}
 	return -1, false // unreachable: k < alive
 }

@@ -127,6 +127,7 @@ func (n *Network) AttachEnergy(cfg EnergyConfig) error {
 			}
 		}
 	}
+	eng.SetParallelism(n.workers)
 	n.energy = eng
 	n.energyOn = true
 	n.installStepPhases()

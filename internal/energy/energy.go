@@ -10,16 +10,21 @@
 // aggregate and forward their members' traffic, so they idle hotter than
 // members), per-packet transmission and reception costs driven by the
 // actual data-plane counters, and a reduced cost while duty-cycled — the
-// whole point of SleepNodes-style scheduling. The accounting is a single
-// sequential pass in node-index order over preallocated arrays: it is
-// allocation-free at steady state and bit-identical for a fixed seed at
-// any protocol-engine parallelism, because every input it reads (roles,
-// statuses, traffic counters) is itself deterministic.
+// whole point of SleepNodes-style scheduling. The accounting commits in a
+// sequential node-index-order pass over preallocated arrays (large
+// populations precompute the per-node hook reads on a worker pool first;
+// see stepParallel): it is allocation-free at steady state and
+// bit-identical for a fixed seed at any parallelism, because the commit
+// order — float accumulation, kills, rotation rescales — never varies and
+// every input it reads (roles, statuses, traffic counters) is itself
+// deterministic.
 package energy
 
 import (
 	"fmt"
 	"math"
+	goruntime "runtime"
+	"sync"
 )
 
 // Costs is the per-step drain schedule, shared by the live subsystem and
@@ -172,7 +177,34 @@ type Engine struct {
 	firstDeath int // step of the first depletion, -1 while everyone lives
 	deaths     int
 	stepsRun   int
+
+	// Parallel drain-pass scratch (see stepParallel): per-node role class
+	// and traffic-counter reads, precomputed concurrently, committed
+	// sequentially. Lazily sized on first parallel step.
+	workers  int // 0 = GOMAXPROCS; <= 1 forces the inline pass
+	classBuf []int8
+	txBuf    []int64
+	rxBuf    []int64
 }
+
+// Role classes the parallel precompute hands to the sequential commit.
+const (
+	roleSkip int8 = iota // depleted, or dead by churn
+	roleSleep
+	roleHead
+	roleMember
+)
+
+// SetParallelism fixes the worker count of the drain pass's hook-reading
+// precompute. 0 (the default) sizes it to GOMAXPROCS; results are
+// bit-identical for any value (the commit stays sequential). Small
+// populations always run inline regardless.
+func (e *Engine) SetParallelism(workers int) { e.workers = workers }
+
+// parallelThreshold is the population below which the drain pass always
+// runs inline: goroutine fan-out costs more than the hooks it would
+// spread, and the inline pass stays allocation-free.
+const parallelThreshold = 4096
 
 // New builds a battery model for n nodes with full batteries.
 func New(n int, cfg Config, hooks Hooks) (*Engine, error) {
@@ -221,9 +253,13 @@ func New(n int, cfg Config, hooks Hooks) (*Engine, error) {
 // pays its role idle cost plus the tx/rx cost of the data-plane activity
 // since the previous step, sleepers pay the sleep cost, and batteries
 // that crossed zero are killed through the churn hook. step is the
-// protocol's completed-step count. The pass is allocation-free.
+// protocol's completed-step count. The pass is allocation-free (the
+// parallel variant reuses its scratch after the first sizing).
 func (e *Engine) Step(step int) error {
 	e.stepsRun++
+	if workers := e.resolveWorkers(); workers > 1 && e.n >= parallelThreshold {
+		return e.stepParallel(step, workers)
+	}
 	c := &e.cfg.Costs
 	for i := 0; i < e.n; i++ {
 		if e.depleted[i] {
@@ -260,6 +296,142 @@ func (e *Engine) Step(step int) error {
 			}
 			if e.hooks.Rx != nil {
 				rx := e.hooks.Rx(i)
+				if d := rx - e.lastRx[i]; d > 0 {
+					cost := float64(d) * c.Rx
+					drain += cost
+					e.acc.drainRx += cost
+				}
+				e.lastRx[i] = rx
+			}
+		}
+		b := e.battery[i] - drain
+		if b <= 0 {
+			e.battery[i] = 0
+			e.depleted[i] = true
+			e.deaths++
+			if e.firstDeath < 0 {
+				e.firstDeath = step
+			}
+			if e.hooks.Kill != nil {
+				if err := e.hooks.Kill(i); err != nil {
+					return fmt.Errorf("energy: depletion kill of node %d: %w", i, err)
+				}
+			}
+			continue
+		}
+		e.battery[i] = b
+		if e.cfg.Rotation {
+			if lvl := e.quantize(b); lvl != e.level[i] {
+				e.level[i] = lvl
+				if err := e.hooks.Scale(i, float64(lvl)/float64(e.cfg.Levels)); err != nil {
+					return fmt.Errorf("energy: rotation scale of node %d: %w", i, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) resolveWorkers() int {
+	if e.workers == 0 {
+		return goruntime.GOMAXPROCS(0)
+	}
+	return e.workers
+}
+
+// stepParallel is Step's large-population variant: the per-node hook
+// reads (lifecycle, role, traffic counters — the bulk of the pass, five
+// indirect calls per node) run on a worker pool into per-node scratch,
+// and a sequential index-order commit replays exactly the inline pass's
+// arithmetic over those reads. Float accumulation order, battery updates
+// and hook invocation order (Kill, Scale) are therefore unchanged, which
+// keeps the parallel pass bit-identical to the inline one. Safe because
+// the precompute only reads protocol/traffic state, and because a commit-
+// time Kill or Scale of node i never changes another node's hook answers.
+func (e *Engine) stepParallel(step int, workers int) error {
+	n := e.n
+	if cap(e.classBuf) < n {
+		e.classBuf = make([]int8, n)
+		e.txBuf = make([]int64, n)
+		e.rxBuf = make([]int64, n)
+	}
+	class := e.classBuf[:n]
+	txB := e.txBuf[:n]
+	rxB := e.rxBuf[:n]
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if e.depleted[i] {
+					class[i] = roleSkip
+					continue
+				}
+				alive := e.hooks.Alive(i)
+				sleeping := !alive && e.hooks.Sleeping(i)
+				switch {
+				case !alive && !sleeping:
+					class[i] = roleSkip
+				case sleeping:
+					class[i] = roleSleep
+				default:
+					if e.hooks.IsHead(i) {
+						class[i] = roleHead
+					} else {
+						class[i] = roleMember
+					}
+					if e.hooks.Tx != nil {
+						txB[i] = e.hooks.Tx(i)
+					}
+					if e.hooks.Rx != nil {
+						rxB[i] = e.hooks.Rx(i)
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	c := &e.cfg.Costs
+	for i := 0; i < n; i++ {
+		var drain float64
+		switch class[i] {
+		case roleSkip:
+			continue
+		case roleSleep:
+			drain = c.Sleep
+			e.acc.drainSleep += c.Sleep
+			e.acc.sleepSteps++
+		default:
+			if class[i] == roleHead {
+				drain = c.IdleHead
+				e.acc.drainHead += c.IdleHead
+				e.acc.headSteps++
+			} else {
+				drain = c.IdleMember
+				e.acc.drainMember += c.IdleMember
+				e.acc.memberSteps++
+			}
+			if e.hooks.Tx != nil {
+				tx := txB[i]
+				if d := tx - e.lastTx[i]; d > 0 {
+					cost := float64(d) * c.Tx
+					drain += cost
+					e.acc.drainTx += cost
+				}
+				e.lastTx[i] = tx
+			}
+			if e.hooks.Rx != nil {
+				rx := rxB[i]
 				if d := rx - e.lastRx[i]; d > 0 {
 					cost := float64(d) * c.Rx
 					drain += cost

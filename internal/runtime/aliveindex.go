@@ -1,0 +1,111 @@
+package runtime
+
+// Order-statistic index over the alive population.
+//
+// Churn victim picks need "the k-th living slot in index order" for a
+// uniform draw k — the natural implementation scans the status array,
+// O(N) per pick, which at million-node scale turns every churn step into
+// a full-population walk. fenwick is a binary indexed tree over the
+// alive bits: set/clear are O(log N) and bolted onto the lifecycle
+// transitions (New, Append, Kill, Reboot, Sleep, Wake, Compact), and
+// select-k descends the implicit tree in O(log N) without a prefix-sum
+// search. The tree stores 0/1 membership only; StatusAlive remains the
+// source of truth and Compact rebuilds from it.
+
+type fenwick struct {
+	tree []int32 // 1-based; tree[i] sums the lowbit(i)-wide range ending at i
+	bit  []bool  // current membership, so set/clear are idempotent
+	high int     // largest power of two ≤ len(tree)-1, for the select descent
+}
+
+// init sizes the tree for n slots, all absent.
+func (f *fenwick) init(n int) {
+	f.tree = make([]int32, n+1)
+	f.bit = make([]bool, n)
+	f.high = 1
+	for f.high*2 <= n {
+		f.high *= 2
+	}
+	if n == 0 {
+		f.high = 0
+	}
+}
+
+// initAll sizes the tree for n slots, all present — O(n): an all-ones
+// tree is just tree[i] = lowbit(i).
+func (f *fenwick) initAll(n int) {
+	f.init(n)
+	for i := 1; i <= n; i++ {
+		f.tree[i] = int32(i & -i)
+	}
+	for i := range f.bit {
+		f.bit[i] = true
+	}
+}
+
+// grow appends one absent slot.
+func (f *fenwick) grow() {
+	n := len(f.bit) + 1
+	f.bit = append(f.bit, false)
+	// Position n's tree node sums the lowbit(n)-wide range ending at n;
+	// seed it from the sub-ranges it covers, which all already exist.
+	s := int32(0)
+	for step := 1; step < n&-n; step *= 2 {
+		s += f.tree[n-step]
+	}
+	f.tree = append(f.tree, s)
+	if f.high == 0 {
+		f.high = 1
+	}
+	for f.high*2 <= n {
+		f.high *= 2
+	}
+}
+
+// set marks slot i (0-based) present; no-op if it already is.
+func (f *fenwick) set(i int) {
+	if f.bit[i] {
+		return
+	}
+	f.bit[i] = true
+	for j := i + 1; j < len(f.tree); j += j & -j {
+		f.tree[j]++
+	}
+}
+
+// clear marks slot i (0-based) absent; no-op if it already is.
+func (f *fenwick) clear(i int) {
+	if !f.bit[i] {
+		return
+	}
+	f.bit[i] = false
+	for j := i + 1; j < len(f.tree); j += j & -j {
+		f.tree[j]--
+	}
+}
+
+// selectK returns the 0-based slot holding the k-th (0-based) present
+// member in index order, or -1 when fewer than k+1 members exist.
+func (f *fenwick) selectK(k int) int {
+	if k < 0 {
+		return -1
+	}
+	want := int32(k) + 1
+	pos := 0
+	for step := f.high; step > 0; step /= 2 {
+		if next := pos + step; next < len(f.tree) && f.tree[next] < want {
+			want -= f.tree[next]
+			pos = next
+		}
+	}
+	if pos >= len(f.bit) || !f.bit[pos] || want != 1 {
+		return -1
+	}
+	return pos
+}
+
+// NthAlive returns the index of the k-th (0-based, in slot order) alive
+// node, or -1 when fewer than k+1 nodes are alive. O(log N) — the churn
+// subsystem draws k uniformly from [0, AliveCount()) and resolves the
+// victim here instead of scanning the population.
+func (e *Engine) NthAlive(k int) int { return e.aliveIdx.selectK(k) }

@@ -314,6 +314,9 @@ func (e *Engine) Append(id int64) (int, error) {
 	if e.densityScale != nil {
 		e.densityScale = append(e.densityScale, 1) // arrivals start unscaled (full battery)
 	}
+	e.appendTile(i)
+	e.aliveIdx.grow()
+	e.aliveIdx.set(i)
 	e.aliveN++
 	// The newcomer broadcasts a fresh frame, so the frontier expansion
 	// pulls its neighbors in by itself; only the node needs activating.
@@ -343,6 +346,7 @@ func (e *Engine) Kill(i int) error {
 	if e.status[i] == StatusAlive {
 		e.aliveN--
 	}
+	e.aliveIdx.clear(i)
 	e.deadN++
 	e.nodes[i].reset(e.proto)
 	e.status[i] = StatusDead
@@ -368,6 +372,7 @@ func (e *Engine) Reboot(i int) error {
 	if e.status[i] != StatusAlive {
 		e.aliveN++
 	}
+	e.aliveIdx.set(i)
 	e.nodes[i].reset(e.proto)
 	e.status[i] = StatusAlive
 	e.sendMask[i] = true
@@ -390,6 +395,7 @@ func (e *Engine) Sleep(i int) error {
 	// aging this very step.
 	e.activateSpread(i, e.g.Neighbors(i))
 	e.aliveN--
+	e.aliveIdx.clear(i)
 	e.status[i] = StatusSleeping
 	e.sendMask[i] = false
 	e.epoch++
@@ -410,6 +416,7 @@ func (e *Engine) Wake(i int) error {
 	e.markDisruption(ChurnWake, i, e.g.Neighbors(i))
 	e.Activate(i) // frameDirty below pulls the neighbors in via the expansion
 	e.aliveN++
+	e.aliveIdx.set(i)
 	e.status[i] = StatusAlive
 	e.sendMask[i] = true
 	n := e.nodes[i]

@@ -103,6 +103,24 @@ type Engine struct {
 	execFlag []bool
 	exec     []int32
 
+	// Spatial tiling (tile.go). tiles > 1 shards frontier stepping by
+	// tile ownership: tileOf maps each slot to its owning tile (kept
+	// current by tileAssign via Retile/Append/Compact), and the remaining
+	// slices are per-tile step scratch — exec worklists, seed counts, the
+	// T×T halo outbox, and per-tile changed flags.
+	tiles       int // 1 = untiled
+	tileOf      []int32
+	tileAssign  func(i int) int
+	tileExec    [][]int32
+	tileSeeds   []int
+	tileOutbox  [][]int32
+	tileChanged []bool
+
+	// aliveIdx is a Fenwick tree over alive bits (aliveindex.go): NthAlive
+	// answers order-statistic queries ("the k-th living slot") in O(log N)
+	// for churn victim picks. Maintained by every lifecycle transition.
+	aliveIdx fenwick
+
 	// densityScale holds the per-node multiplier applied to the shared
 	// density by guard R1 (nil until the first SetDensityScale: every
 	// node at 1). The energy subsystem drives it with quantized remaining-
@@ -184,7 +202,9 @@ func New(g *topology.Graph, ids []int64, proto Protocol, medium radio.Medium, sr
 		status:   make([]NodeStatus, g.N()),
 		sendMask: make([]bool, g.N()),
 		aliveN:   g.N(),
+		tiles:    1,
 	}
+	e.aliveIdx.initAll(g.N())
 	// One contiguous node arena for the initial population: cold-start
 	// construction is part of every experiment's per-run cost, and n
 	// individual Node allocations dominated it. Append still allocates
@@ -736,6 +756,11 @@ func (e *Engine) Corrupt(frac float64, kind CorruptionKind, src *rng.Source) {
 				entry.frame.Density = src.Float64() * 100
 				entry.frame.HeadID = garbageID()
 				if len(entry.frame.Nbrs) > 0 {
+					// Cached lists alias the sender's shared published slice;
+					// privatize before scribbling so one node's corruption
+					// cannot leak into other receivers' caches (or the
+					// sender's own outgoing frame).
+					entry.frame.Nbrs = append([]NbrSummary(nil), entry.frame.Nbrs...)
 					i := src.Intn(len(entry.frame.Nbrs))
 					entry.frame.Nbrs[i].ID = garbageID()
 					entry.frame.Nbrs[i].HeadID = entry.frame.Nbrs[i].ID

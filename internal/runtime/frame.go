@@ -25,11 +25,15 @@ type NbrSummary struct {
 // Frame is one broadcast: the sender's shared variables plus a summary of
 // its current neighbor cache, Nbrs, sorted by neighbor identifier.
 //
-// Frames live in reusable arenas on the hot path: the engine keeps one
-// outgoing frame per sender and rewrites it in place between steps, and a
-// receiving node's cache reuses each entry's Nbrs backing array on
-// refresh. Holders must therefore treat a Frame obtained from the engine
-// as valid only within the current step, and copy Nbrs before retaining.
+// The scalar header fields live in a reusable arena (one outgoing frame
+// per sender, rewritten in place between steps), but a published Nbrs
+// slice is IMMUTABLE: fillFrame allocates a fresh list only when the
+// summary content changed, and never writes into an already-published
+// one. Receivers rely on that to cache the list by reference — one shared
+// allocation per sender generation instead of a deep copy per receiver —
+// so an old alias stays valid forever, and anything that wants to mutate
+// a summary list it did not just allocate (fault injection, tests) must
+// copy it first.
 type Frame struct {
 	ID      int64
 	TieID   int64

@@ -129,6 +129,17 @@ func (e *Engine) stepSparse() error {
 		}
 	}
 
+	// Saturated frontier: once half the living population is pending, the
+	// worklist's expansion pass plus list indirection costs more than a
+	// straight scan — fall back to dense-shaped execution for this step
+	// (same per-node work, so still bit-identical; see stepSparseSaturated).
+	if len(e.pend) > 0 && 2*len(e.pend) >= e.aliveN {
+		return e.stepSparseSaturated()
+	}
+	if e.tiles > 1 {
+		return e.stepTiled()
+	}
+
 	// Build this step's worklist: every pending node, plus — for pending
 	// nodes about to broadcast changed content — their alive radio
 	// neighborhood, which is exactly the set of nodes whose ingest can
@@ -222,6 +233,90 @@ func (e *Engine) stepSparse() error {
 		if (n.dirty || n.frameDirty || n.stale) && !e.pendFlag[v] {
 			e.pendFlag[v] = true
 			e.pend = append(e.pend, v)
+		}
+	}
+
+	if e.stepChanged {
+		e.epoch++
+		e.lastChange = e.step + 1
+	}
+	e.step++
+	if e.postStep != nil {
+		return e.postStep(e.step)
+	}
+	return nil
+}
+
+// stepSparseSaturated is stepSparse's body when the frontier has grown to
+// a constant fraction of the living population (mass churn, corruption
+// storms, cold start): it drops the worklist machinery for one step and
+// scans every node, dense-style, paying O(N) once instead of O(N) plus
+// worklist bookkeeping. The per-node work is the same as the frontier
+// path's, and running it on extra (clean, off-worklist) nodes is a no-op:
+// a clean node's cached neighbors are all alive and sending (anything
+// else would have pended it via activateSpread or stale), so its ingest
+// refreshes every entry with identical content and its guards never see
+// changed inputs. The execution therefore stays bit-identical to the
+// frontier path. The worklist is rebuilt by a full index-order scan at
+// the end, so the next step resumes sparse stepping seamlessly.
+func (e *Engine) stepSparseSaturated() error {
+	for _, v := range e.pend {
+		e.pendFlag[v] = false
+	}
+	e.pend = e.pend[:0]
+
+	// Phase 1 (parallel): refresh every dirty outgoing frame. All
+	// frameDirty nodes were pending (the step invariant), and the full
+	// scan is a superset of the worklist.
+	e.forEachNode(func(i int) bool {
+		if e.status[i] != StatusAlive {
+			return false
+		}
+		if n := e.nodes[i]; n.frameDirty {
+			n.fillFrame(&e.out[i])
+			n.frameDirty = false
+		}
+		return false
+	})
+
+	// Phase 2+3 (parallel): ingest + guards for every alive node —
+	// identical per-node work to the frontier path.
+	ttl := e.proto.CacheTTL
+	tracking := e.disrupt.active
+	e.stepChanged = e.forEachNode(func(i int) bool {
+		if e.status[i] != StatusAlive {
+			return false
+		}
+		n := e.nodes[i]
+		n.ingestAdj(e.out, e.g.Neighbors(i), e.sendMask, ttl)
+		if !n.dirty {
+			return false
+		}
+		n.dirty = false
+		changed := n.guardN1(e.proto)
+		changed = n.guardR1(e.densityScaleOf(i)) || changed
+		changed = n.guardR2(e.proto) || changed
+		if changed {
+			n.dirty = true
+			n.frameDirty = true
+			if tracking {
+				e.disrupt.changed[i] = true
+			}
+		}
+		return changed
+	})
+
+	// Post-pass (sequential): rebuild the worklist by a full index-order
+	// scan. Worklist order is unobservable (per-node phases are
+	// independent), so index order here vs. activation order on the
+	// frontier path changes nothing downstream.
+	for i, n := range e.nodes {
+		if e.status[i] != StatusAlive {
+			continue
+		}
+		if n.dirty || n.frameDirty || n.stale {
+			e.pendFlag[i] = true
+			e.pend = append(e.pend, int32(i))
 		}
 	}
 

@@ -9,8 +9,12 @@ import (
 
 // cacheEntry is the cached copy of a neighbor's last heard frame, plus its
 // age in steps (for eviction under mobility and churn). The entry's Nbrs
-// backing array is reused when the same neighbor is heard again, so a
-// steady-state refresh allocates nothing.
+// slice ALIASES the sender's published summary list — published lists are
+// immutable (fillFrame builds a fresh one only when the content changed),
+// so receivers share one allocation per sender instead of keeping a deep
+// copy each, and a whole cached neighborhood costs O(deg) summaries per
+// node instead of O(deg²). Anything that wants to scribble on a cached
+// list (fault injection) must privatize it first.
 type cacheEntry struct {
 	frame Frame
 	age   int
@@ -80,19 +84,20 @@ func (c *neighborCache) upsert(id int64) (*cacheEntry, bool) {
 	return &s[lo], true
 }
 
-// copySummaries copies src over dst's backing array, growing it in
-// power-of-two jumps: a sender's advertised list grows a few entries per
-// step during convergence, and exact-size reallocation on every refresh
-// was a measurable slice of cold-stabilization's allocation bill.
-func copySummaries(dst, src []NbrSummary) []NbrSummary {
-	if cap(dst) < len(src) {
-		ncap := 8
-		for ncap < len(src) {
-			ncap *= 2
-		}
-		dst = make([]NbrSummary, 0, ncap)
+// sameNbrs reports whether two summary lists carry identical content.
+// Published lists are immutable and shared, so in steady state a cached
+// list and a re-heard one are usually the SAME allocation — the pointer
+// check turns the per-refresh comparison from an O(deg) element walk into
+// O(1). The element walk remains as the fallback for lists that are equal
+// by value but not by identity (e.g. hand-built test frames).
+func sameNbrs(a, b []NbrSummary) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return append(dst[:0], src...)
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	return slices.Equal(a, b)
 }
 
 // put installs a full entry (test fixture helper).
@@ -208,32 +213,48 @@ func (n *Node) ParentID() int64 { return n.parent }
 // IsHead reports whether the node currently claims headship.
 func (n *Node) IsHead() bool { return n.headID == n.id }
 
-// fillFrame assembles the node's broadcast for this step into f, reusing
-// f's Nbrs backing array (engine-owned scratch). The cache is id-sorted,
-// so the summary list comes out deterministic without a sort.
+// fillFrame assembles the node's broadcast for this step into f. The
+// cache is id-sorted, so the summary list comes out deterministic without
+// a sort. Publish-on-change: a published Nbrs slice is immutable —
+// receivers alias it instead of deep-copying (see cacheEntry) — so the
+// list is rebuilt into a fresh allocation only when its content actually
+// changed, and kept verbatim otherwise. The content depends only on the
+// neighbor cache, not on the node's own shared variables, so the frequent
+// frameDirty causes (own density/head updates, energy rescaling) refresh
+// the scalar header fields and reuse the list untouched.
 func (n *Node) fillFrame(f *Frame) {
 	f.ID = n.id
 	f.TieID = n.tieID
 	f.Density = n.density
 	f.HeadID = n.headID
-	f.Nbrs = f.Nbrs[:0]
-	for i := range n.cache {
-		e := &n.cache[i]
-		f.Nbrs = append(f.Nbrs, NbrSummary{
-			ID:      e.frame.ID,
-			TieID:   e.frame.TieID,
-			Density: e.frame.Density,
-			HeadID:  e.frame.HeadID,
-		})
+	if len(f.Nbrs) == len(n.cache) {
+		same := true
+		for i := range n.cache {
+			e := &n.cache[i].frame
+			s := &f.Nbrs[i]
+			if s.ID != e.ID || s.TieID != e.TieID || s.Density != e.Density || s.HeadID != e.HeadID {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
 	}
+	nbrs := make([]NbrSummary, len(n.cache))
+	for i := range n.cache {
+		e := &n.cache[i].frame
+		nbrs[i] = NbrSummary{ID: e.ID, TieID: e.TieID, Density: e.Density, HeadID: e.HeadID}
+	}
+	f.Nbrs = nbrs
 }
 
 // ingest ages the cache, installs the frames heard this step (frames[s]
 // for each sender index s), and evicts entries not refreshed within ttl
 // steps (ttl 0 disables eviction; appropriate for static topologies).
-// Cached state is a private deep copy: the broadcast frame is shared by
-// every receiver of the same transmission, and fault injection must be
-// able to corrupt one cache without corrupting all of them.
+// The cached scalar fields are private copies; the Nbrs list is a shared
+// alias of the sender's immutable published slice (see cacheEntry), so a
+// content change costs one slice-header store, not a deep copy.
 func (n *Node) ingest(frames []Frame, senders []int32, ttl int) {
 	for i := range n.cache {
 		n.cache[i].age++
@@ -246,11 +267,10 @@ func (n *Node) ingest(frames []Frame, senders []int32, ttl int) {
 		e, added := n.cache.upsert(f.ID)
 		// Only an appearing neighbor or a content change re-arms the
 		// guards; the common steady-state refresh (identical frame) costs
-		// one comparison and no copy.
+		// one comparison — O(1) when the list aliases match.
 		if added || e.frame.TieID != f.TieID || e.frame.Density != f.Density ||
-			e.frame.HeadID != f.HeadID || !slices.Equal(e.frame.Nbrs, f.Nbrs) {
-			nbrs := copySummaries(e.frame.Nbrs, f.Nbrs)
-			e.frame = Frame{ID: f.ID, TieID: f.TieID, Density: f.Density, HeadID: f.HeadID, Nbrs: nbrs}
+			e.frame.HeadID != f.HeadID || !sameNbrs(e.frame.Nbrs, f.Nbrs) {
+			e.frame = Frame{ID: f.ID, TieID: f.TieID, Density: f.Density, HeadID: f.HeadID, Nbrs: f.Nbrs}
 			n.dirty = true
 			n.frameDirty = true
 		}
@@ -298,9 +318,8 @@ func (n *Node) ingestAdj(frames []Frame, nbrs []int, sending []bool, ttl int) {
 		}
 		e, added := n.cache.upsert(f.ID)
 		if added || e.frame.TieID != f.TieID || e.frame.Density != f.Density ||
-			e.frame.HeadID != f.HeadID || !slices.Equal(e.frame.Nbrs, f.Nbrs) {
-			nbrCopy := copySummaries(e.frame.Nbrs, f.Nbrs)
-			e.frame = Frame{ID: f.ID, TieID: f.TieID, Density: f.Density, HeadID: f.HeadID, Nbrs: nbrCopy}
+			e.frame.HeadID != f.HeadID || !sameNbrs(e.frame.Nbrs, f.Nbrs) {
+			e.frame = Frame{ID: f.ID, TieID: f.TieID, Density: f.Density, HeadID: f.HeadID, Nbrs: f.Nbrs}
 			n.dirty = true
 			n.frameDirty = true
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	goruntime "runtime"
 	"testing"
 
 	"selfstab/internal/cluster"
@@ -105,19 +106,124 @@ func BenchmarkStep100k(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := 0.875
-		if i%2 == 1 {
-			s = 1.0
+		perturbedStep(b, e, n, i)
+	}
+	b.StopTimer()
+	// Live heap for the whole stabilized world — the 1M scenario's
+	// memory budget is quoted relative to this footprint.
+	var ms goruntime.MemStats
+	goruntime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "heapMB")
+}
+
+// stableTiledScaleEngine is stableScaleEngine plus a k-tile spatial
+// sharding (tiles <= 1 leaves the engine untiled).
+func stableTiledScaleEngine(b *testing.B, n, tiles int) *Engine {
+	b.Helper()
+	pts, ids, r := scalePoints(int64(n), n)
+	g := topology.FromPoints(pts, r)
+	e, err := New(g, ids, Protocol{Order: cluster.OrderBasic}, radio.Perfect{}, rng.New(int64(n)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.SetSparse(true); err != nil {
+		b.Fatal(err)
+	}
+	if tiles > 1 {
+		tiling := topology.NewTiling(geom.UnitSquare(), tiles)
+		if err := e.SetTiles(tiling.Tiles(), func(i int) int {
+			return tiling.TileOf(pts[i])
+		}); err != nil {
+			b.Fatal(err)
 		}
-		for k := 0; k < 100; k++ {
-			if err := e.SetDensityScale((k*997+13)%n, s); err != nil {
-				b.Fatal(err)
+	}
+	if _, err := e.RunUntilStable(5000, 5); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// perturbedStep is the BenchmarkStep100k workload body: 100 spread-out
+// density-scale writes followed by one step, alternating the scale so
+// every iteration does real guard work.
+func perturbedStep(b *testing.B, e *Engine, n, i int) {
+	s := 0.875
+	if i%2 == 1 {
+		s = 1.0
+	}
+	for k := 0; k < 100; k++ {
+		if err := e.SetDensityScale((k*997+13)%n, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Step(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStep100kTiles is BenchmarkStep100k across a tile-count sweep:
+// the same locally perturbed workload with the region sharded 1, 2, 4 and
+// 8 ways. With one worker the tiled path's overhead (halo routing, outbox
+// merge) should be noise; on a multicore host the per-tile phases run in
+// parallel and the step should scale with min(tiles, cores).
+func BenchmarkStep100kTiles(b *testing.B) {
+	requireScaleBench(b)
+	const n = 100_000
+	for _, tiles := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("tiles=%d", tiles), func(b *testing.B) {
+			e := stableTiledScaleEngine(b, n, tiles)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				perturbedStep(b, e, n, i)
 			}
-		}
+		})
+	}
+}
+
+// BenchmarkStepSaturated pins the dense-scan fallback: ActivateAll pends
+// the whole population before every step, so 2·|frontier| ≥ alive routes
+// the step through the saturated path — a flat index-order scan instead
+// of worklist bookkeeping for nearly every node. This is the regime where
+// naive frontier stepping is strictly worse than the dense engine.
+func BenchmarkStepSaturated(b *testing.B) {
+	requireScaleBench(b)
+	const n = 10_000
+	e := stableScaleEngine(b, n, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ActivateAll()
 		if err := e.Step(); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStep1M is the million-node tentpole scenario: the perturbed
+// step at n=1,000,000 under an 8-way tiling, with the post-setup heap
+// reported so the memory diet (interned neighbor summaries: O(deg) per
+// node instead of O(deg²)) shows up next to the step time. Gated twice —
+// SELFSTAB_SCALE_BENCH_1M on top of the scale gate — because setup alone
+// costs minutes and ~2 GB; the CI smoke tier never runs it.
+func BenchmarkStep1M(b *testing.B) {
+	requireScaleBench(b)
+	if os.Getenv("SELFSTAB_SCALE_BENCH_1M") == "" {
+		b.Skip("set SELFSTAB_SCALE_BENCH_1M=1 to run the million-node scenario")
+	}
+	const n = 1_000_000
+	e := stableTiledScaleEngine(b, n, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perturbedStep(b, e, n, i)
+	}
+	b.StopTimer()
+	// After ResetTimer (which clears custom metrics), report the live
+	// heap holding the whole stabilized world — the memory-budget number.
+	var ms goruntime.MemStats
+	goruntime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "heapMB")
 }
 
 // BenchmarkCompact measures dead-slot recycling at 10k nodes with 20%

@@ -1,0 +1,90 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"selfstab/internal/geom"
+)
+
+// Tiling partitions a deployment region into a kx × ky grid of equal
+// rectangular tiles. It is the spatial-ownership map behind the engine's
+// tiled stepping: every node belongs to exactly the tile containing its
+// position, each tile steps its own slice of the frontier, and — because
+// radio reach is bounded by the unit-disk radius — a tile's nodes can only
+// influence nodes in tiles adjacent to it. Cross-tile (halo) traffic is
+// therefore O(perimeter), not O(area), which is what makes the partition
+// shard-friendly.
+//
+// The tiling is purely geometric and immutable: it never inspects the node
+// set, so every consumer (grid index, engine, tests) derives the same
+// assignment from the same positions.
+type Tiling struct {
+	region geom.Rect
+	kx, ky int
+	invW   float64 // tiles per unit x-extent
+	invH   float64 // tiles per unit y-extent
+}
+
+// NewTiling splits region into k tiles, factoring k as near-square kx × ky
+// with the larger factor along the region's longer axis (so tiles stay as
+// close to square as the factorization allows — square tiles minimize the
+// halo perimeter per owned area). k < 1 is clamped to 1.
+func NewTiling(region geom.Rect, k int) *Tiling {
+	if k < 1 {
+		k = 1
+	}
+	// Largest factor pair: a = the biggest divisor of k not exceeding
+	// sqrt(k), b = k/a. For prime k this degenerates to 1 × k, which is
+	// still a valid (strip) tiling.
+	a := int(math.Sqrt(float64(k)))
+	for a > 1 && k%a != 0 {
+		a--
+	}
+	if a < 1 {
+		a = 1
+	}
+	b := k / a
+	kx, ky := b, a
+	if region.MaxY-region.MinY > region.MaxX-region.MinX {
+		kx, ky = a, b
+	}
+	t := &Tiling{region: region, kx: kx, ky: ky}
+	if w := region.MaxX - region.MinX; w > 0 {
+		t.invW = float64(kx) / w
+	}
+	if h := region.MaxY - region.MinY; h > 0 {
+		t.invH = float64(ky) / h
+	}
+	return t
+}
+
+// Tiles returns the tile count kx × ky.
+func (t *Tiling) Tiles() int { return t.kx * t.ky }
+
+// Dims returns the tile grid dimensions (kx columns, ky rows).
+func (t *Tiling) Dims() (kx, ky int) { return t.kx, t.ky }
+
+// TileOf maps a point to its tile index in [0, Tiles()). Points outside
+// the region clamp to the border tiles (clamping is monotone, mirroring
+// GridIndex.cellOf: wanderers stay owned by the nearest edge tile).
+func (t *Tiling) TileOf(p geom.Point) int {
+	cx := int((p.X - t.region.MinX) * t.invW)
+	cy := int((p.Y - t.region.MinY) * t.invH)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= t.kx {
+		cx = t.kx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= t.ky {
+		cy = t.ky - 1
+	}
+	return cy*t.kx + cx
+}
+
+// String renders the tile grid, e.g. "4 tiles (2x2)".
+func (t *Tiling) String() string {
+	return fmt.Sprintf("%d tiles (%dx%d)", t.Tiles(), t.kx, t.ky)
+}

@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"testing"
+
+	"selfstab/internal/geom"
+)
+
+// TestTilingDims: near-square factorization, larger factor on the longer
+// axis, primes degenerate to strips, k < 1 clamps.
+func TestTilingDims(t *testing.T) {
+	sq := geom.UnitSquare()
+	cases := []struct {
+		k      int
+		kx, ky int
+	}{
+		{1, 1, 1},
+		{2, 2, 1},
+		{4, 2, 2},
+		{6, 3, 2},
+		{7, 7, 1},
+		{12, 4, 3},
+		{0, 1, 1},
+		{-3, 1, 1},
+	}
+	for _, c := range cases {
+		ti := NewTiling(sq, c.k)
+		kx, ky := ti.Dims()
+		if kx != c.kx || ky != c.ky {
+			t.Errorf("NewTiling(square, %d) = %dx%d, want %dx%d", c.k, kx, ky, c.kx, c.ky)
+		}
+		if want := c.kx * c.ky; ti.Tiles() != want {
+			t.Errorf("Tiles() = %d, want %d", ti.Tiles(), want)
+		}
+	}
+	// A tall region puts the larger factor on y.
+	tall := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 3}
+	if kx, ky := NewTiling(tall, 6).Dims(); kx != 2 || ky != 3 {
+		t.Errorf("tall region: %dx%d, want 2x3", kx, ky)
+	}
+}
+
+// TestTileOf: interior points map to the enclosing tile, borders and
+// out-of-region wanderers clamp, and every tile index is reachable.
+func TestTileOf(t *testing.T) {
+	ti := NewTiling(geom.UnitSquare(), 4) // 2x2
+	cases := []struct {
+		p    geom.Point
+		want int
+	}{
+		{geom.Point{X: 0.25, Y: 0.25}, 0},
+		{geom.Point{X: 0.75, Y: 0.25}, 1},
+		{geom.Point{X: 0.25, Y: 0.75}, 2},
+		{geom.Point{X: 0.75, Y: 0.75}, 3},
+		{geom.Point{X: 0, Y: 0}, 0},
+		{geom.Point{X: 1, Y: 1}, 3}, // the far corner clamps into the last tile
+		{geom.Point{X: -5, Y: 0.6}, 2},
+		{geom.Point{X: 7, Y: -7}, 1},
+	}
+	for _, c := range cases {
+		if got := ti.TileOf(c.p); got != c.want {
+			t.Errorf("TileOf(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if s := ti.String(); s != "4 tiles (2x2)" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -23,6 +23,7 @@ package traffic
 
 import (
 	"fmt"
+	"slices"
 
 	"selfstab/internal/rng"
 )
@@ -167,14 +168,19 @@ type Engine struct {
 	// whose queue held packets at last sight (emptied entries are culled
 	// lazily at the next pass). The forwarding phase walks it instead of
 	// all n nodes, so an idle 100k-node network pays for its traffic, not
-	// its size — and because the list stays sorted, the visit order (and
-	// hence every queue interleaving) is bit-identical to the historical
-	// full scan. arrList collects the receivers with staged arrivals for
-	// the merge phase the same way.
-	busy     []int32
-	busyFlag []bool
-	arrList  []int32
-	arrFlag  []bool
+	// its size — and because the list is visited sorted, the visit order
+	// (and hence every queue interleaving) is bit-identical to the
+	// historical full scan. New members are appended out of place (O(1)
+	// amortized; the old sorted insert shifted O(busy) per newcomer, which
+	// at hotspot onset turned quadratic) and busyDirty triggers one sort
+	// at the next forwarding pass; culls preserve sortedness. arrList
+	// collects the receivers with staged arrivals for the merge phase the
+	// same way (no sort needed there — receivers are independent).
+	busy      []int32
+	busyFlag  []bool
+	busyDirty bool
+	arrList   []int32
+	arrFlag   []bool
 
 	// Retired accounting: per-node counters of slots dropped by Compact,
 	// folded into Stats totals so the ledger is invariant across a
@@ -254,7 +260,14 @@ func (e *Engine) Step(step int) error {
 	// exactly one hop per step no matter the node order. Dead nodes'
 	// queues were flushed when they died; a sleeping node's queue is
 	// frozen until it wakes (its worklist entry idles with it). Entries
-	// whose queue emptied since the last pass are culled here.
+	// whose queue emptied since the last pass are culled here. The
+	// worklist is sorted lazily: appends since the last pass set
+	// busyDirty, and one sort here restores index order (culling keeps a
+	// sorted list sorted, so a steady-state step skips the sort too).
+	if e.busyDirty {
+		slices.Sort(e.busy)
+		e.busyDirty = false
+	}
 	w := 0
 	for _, bu := range e.busy {
 		u := int(bu)
@@ -337,26 +350,17 @@ func (e *Engine) alive(i int) bool {
 	return e.hooks.Alive == nil || e.hooks.Alive(i)
 }
 
-// markBusy puts node v on the forwarding worklist, keeping it sorted by
-// node index (steady-state flows re-use their membership, so the insert
-// cost is paid only when a new relay lights up).
+// markBusy puts node v on the forwarding worklist. The append is O(1);
+// the worklist is re-sorted once per forwarding pass when anything was
+// added (steady-state flows re-use their membership, so the common step
+// neither appends nor sorts).
 func (e *Engine) markBusy(v int) {
 	if e.busyFlag[v] {
 		return
 	}
 	e.busyFlag[v] = true
-	lo, hi := 0, len(e.busy)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if int(e.busy[mid]) < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	e.busy = append(e.busy, 0)
-	copy(e.busy[lo+1:], e.busy[lo:])
-	e.busy[lo] = int32(v)
+	e.busy = append(e.busy, int32(v))
+	e.busyDirty = true
 }
 
 // inject creates one packet on flow fi and enqueues it at the source.

@@ -274,16 +274,11 @@ func (n *Network) Verify() error {
 
 // operatingMask returns the alive-nodes bitmap Stats and BuildHierarchy
 // restrict themselves to, or nil when every slot is alive (the common
-// churn-free case, where the mask would only cost allocations).
+// churn-free case, where the mask would only cost allocations). The
+// all-alive probe is an O(1) counter comparison, so observability calls
+// on a quiescent churn-free world never walk the population.
 func (n *Network) operatingMask() []bool {
-	all := true
-	for i := range n.pts {
-		if n.engine.Status(i) != runtime.StatusAlive {
-			all = false
-			break
-		}
-	}
-	if all {
+	if n.engine.AliveCount() == len(n.pts) {
 		return nil
 	}
 	mask := make([]bool, len(n.pts))
@@ -327,10 +322,21 @@ func (n *Network) SetPositions(positions []Point) error {
 }
 
 // SetParallelism fixes the worker count of the step engine's per-node
-// phases. 0 (the default) sizes the pool to GOMAXPROCS. Results — protocol
-// state and traffic statistics alike — are bit-identical for any value;
+// phases (and, when an energy model is attached, of its drain pass). 0
+// (the default) sizes the pool to GOMAXPROCS. Results — protocol state,
+// traffic and energy statistics alike — are bit-identical for any value;
 // the knob exists for benchmarking and the determinism tests.
-func (n *Network) SetParallelism(workers int) { n.engine.SetParallelism(workers) }
+func (n *Network) SetParallelism(workers int) {
+	n.workers = workers
+	n.engine.SetParallelism(workers)
+	if n.energy != nil {
+		n.energy.SetParallelism(workers)
+	}
+}
+
+// Tiles reports the step engine's spatial tile count (1 when untiled).
+// See WithTiles.
+func (n *Network) Tiles() int { return n.engine.Tiles() }
 
 // Neighbors returns the identifiers of node i's current radio neighbors.
 func (n *Network) Neighbors(i int) ([]int64, error) {

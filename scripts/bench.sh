@@ -7,10 +7,12 @@
 # energy subsystem), then benchmarks the core packages with -benchmem
 # and records every sample in BENCH_step.json — plus the routing/traffic
 # suite in BENCH_traffic.json, the churn suite in BENCH_churn.json, the
-# energy suite in BENCH_energy.json and the 100k-scale suite (quiescent
-# frontier stepping, perturbed 100k step, slot compaction) in
-# BENCH_scale.json — so successive runs can be compared (benchstat on
-# the raw text, or any tool on the JSON).
+# energy suite in BENCH_energy.json and the scale suite (quiescent
+# frontier stepping, perturbed 100k step with a tile-count sweep,
+# saturated-frontier fallback, slot compaction, and — behind BENCH_1M=1 —
+# the million-node tiled scenario) in BENCH_scale.json — so successive
+# runs can be compared (benchstat on the raw text, or any tool on the
+# JSON).
 #
 # After generating the fresh numbers, a regression gate compares the
 # median ns/op of every step-time benchmark against the committed
@@ -50,8 +52,8 @@ echo "== go vet" >&2
 go vet ./...
 
 echo "== race-instrumented determinism tests" >&2
-go test -race -run 'TestParallelDeterminism|TestParallelMatchesSequentialStabilization|TestEngineChurnParallelDeterminism|TestSparseMatchesDenseMixedTrace' ./internal/runtime
-go test -race -run 'TestTrafficDeterminism|TestChurnDeterminism|TestEnergyDeterminism|TestNetworkSparseMatchesDense|TestCompactTwinEquivalence' .
+go test -race -run 'TestParallelDeterminism|TestParallelMatchesSequentialStabilization|TestEngineChurnParallelDeterminism|TestSparseMatchesDenseMixedTrace|TestTiledMatchesFlatMixedTrace|TestSaturatedFallbackMatchesDense' ./internal/runtime
+go test -race -run 'TestTrafficDeterminism|TestChurnDeterminism|TestEnergyDeterminism|TestNetworkSparseMatchesDense|TestCompactTwinEquivalence|TestTilesOracleMixedTrace|TestCompactUnderTiling' .
 
 echo "== benchmarks (count=$COUNT)" >&2
 go test -run '^$' -bench . -benchmem -count "$COUNT" "${PKGS[@]}" | tee "$RAW"
@@ -69,8 +71,17 @@ go test -run '^$' -bench 'BenchmarkEnergyStep1000' \
     -benchmem -count "$COUNT" . | tee "$ENERGY_RAW"
 
 echo "== scale benchmarks (count=$SCALE_COUNT)" >&2
-SELFSTAB_SCALE_BENCH=1 go test -run '^$' -bench 'BenchmarkQuiescentStep|BenchmarkStep100k|BenchmarkCompact' \
+SELFSTAB_SCALE_BENCH=1 go test -run '^$' -bench 'BenchmarkQuiescentStep|BenchmarkStep100k|BenchmarkStepSaturated|BenchmarkCompact' \
     -benchmem -benchtime 0.5s -count "$SCALE_COUNT" -timeout 60m ./internal/runtime | tee "$SCALE_RAW"
+
+# The million-node tier is opt-in on top of the scale suite: setup alone
+# costs minutes and ~2 GB of heap, so the CI smoke tier (and a default
+# bench.sh run) never touches it. Set BENCH_1M=1 to append its rows.
+if [ "${BENCH_1M:-0}" = "1" ]; then
+    echo "== million-node benchmarks (count=1)" >&2
+    SELFSTAB_SCALE_BENCH=1 SELFSTAB_SCALE_BENCH_1M=1 go test -run '^$' -bench 'BenchmarkStep1M' \
+        -benchmem -benchtime 5x -count 1 -timeout 120m ./internal/runtime | tee -a "$SCALE_RAW"
+fi
 
 # bench_to_json converts benchmark lines into a JSON array. Lines look like:
 #   BenchmarkStep1000   232   4536778 ns/op   64 B/op   2 allocs/op

@@ -85,7 +85,42 @@
 //     medium with a synchronous daemon (lossy media and randomized
 //     daemons draw per-node randomness every step, so they keep the
 //     dense path).
-//   - Dead-slot compaction. Node slots stay index-stable between
+//   - Spatially-tiled sharded stepping (WithTiles). The deployment
+//     region is partitioned into k rectangular tiles, each owning its
+//     nodes and its shard of the frontier worklist. A step expands and
+//     evaluates each tile independently on the worker pool; activations
+//     that cross a tile boundary are routed through per-(source, dest)
+//     outboxes and merged at a step barrier — a halo exchange. Because
+//     the radio is a unit disk, only nodes within one radio range of a
+//     boundary can generate cross-tile traffic, so halo volume scales
+//     with tile perimeter while per-tile work scales with area. Tiling
+//     is purely a performance knob: per-node writes touch only that
+//     node's state and merge order is fixed, so the trajectory is
+//     bit-identical at any tile count and worker count (pinned by
+//     TestTiledMatchesFlatMixedTrace and the public-layer
+//     TestTilesOracleMixedTrace, both under -race). At one worker the
+//     tiled path costs the same as the flat worklist
+//     (BenchmarkStep100kTiles shows parity across the sweep on a
+//     single-core host); on multicore the per-tile phases spread across
+//     the pool and the step scales with min(tiles, cores). The default
+//     is automatic — min(GOMAXPROCS, N/2048) tiles.
+//   - Saturated-frontier fallback. When a disruption pends half the
+//     population or more (mass corruption, a blackout, ActivateAll),
+//     worklist bookkeeping costs more than it saves: the engine detects
+//     2·|frontier| ≥ alive before dispatch and runs that step as a flat
+//     index-order scan with sparse per-node operations, rebuilding the
+//     worklist on the way out (BenchmarkStepSaturated pins the regime).
+//   - Interned neighbor summaries. A published neighbor-summary list is
+//     immutable: frame assembly reuses the previously published slice
+//     when the cache content is unchanged, and receivers cache the list
+//     by reference instead of copying it. Steady-state per-node memory
+//     drops from O(degree²) (every receiver holding a private copy of
+//     every neighbor's list) to O(degree), which is what keeps the
+//     million-node scenario (BenchmarkStep1M) inside a commodity heap.
+//   - O(log N) churn victim selection and O(1) population counts. A
+//     Fenwick-tree order-statistic index over the alive set backs the
+//     churn schedule's random victim picks (NthAlive) and Population,
+//     replacing O(N) status scans that dominated large quiescent worlds.
 //     compactions; an explicit Network.Compact (or a SetAutoCompact
 //     dead-fraction threshold) recycles dead slots under one monotone
 //     index remap propagated to every index cache — grid and graph,
@@ -166,7 +201,9 @@
 // The benchmark suite quantifies all of this: BenchmarkStep1000 (steady
 // protocol step at paper scale) is the headline throughput number and
 // should stay allocation-flat; the BenchmarkQuiescentStep family and
-// BenchmarkStep100k pin the frontier engine's flat-in-N claim;
+// BenchmarkStep100k pin the frontier engine's flat-in-N claim, the
+// BenchmarkStep100kTiles sweep and BenchmarkStep1M pin the tiled
+// engine's scaling and the million-node memory budget;
 // BenchmarkColdStabilize and BenchmarkRecovery measure convergence
 // phases where guards actually run; the experiment-level benchmarks in
 // bench_test.go regenerate the paper's tables. scripts/bench.sh runs
@@ -179,6 +216,7 @@ package selfstab
 import (
 	"errors"
 	"fmt"
+	goruntime "runtime"
 	"sort"
 
 	"selfstab/internal/cluster"
@@ -214,6 +252,7 @@ type config struct {
 	rowMajor     bool
 	idsCustom    []int64
 	stableWindow int
+	tiles        int // 0 = auto, 1 = untiled, k > 1 = force k tiles
 }
 
 func defaults() config {
@@ -363,6 +402,25 @@ func WithRowMajorIDs() Option {
 	}
 }
 
+// WithTiles controls spatial tiling of the step engine: the deployment
+// region is partitioned into k rectangular tiles, each owning its nodes
+// and its shard of the frontier worklist, and the step's phases run
+// tile-parallel with halo (boundary) exchange at the phase barriers. The
+// execution is bit-identical at every tile count — tiling is purely a
+// performance knob. k = 1 disables tiling; the default (auto) picks
+// min(GOMAXPROCS, N/2048) tiles so small worlds and single-core hosts
+// stay on the flat path. Tiling engages only where frontier stepping
+// does (lossless medium, synchronous daemon); otherwise it sits idle.
+func WithTiles(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("selfstab: tile count must be >= 1, got %d", k)
+		}
+		c.tiles = k
+		return nil
+	}
+}
+
 // WithIDs supplies explicit unique node identifiers (overrides
 // WithRowMajorIDs). Length must match the node count.
 func WithIDs(ids []int64) Option {
@@ -420,6 +478,7 @@ type Network struct {
 	churn         *churnState // attached churn schedule (nil until AttachChurn)
 	churnAttached bool        // schedule currently driving the pre-step phase
 	autoCompact   float64     // dead-slot fraction that triggers Compact (0: never)
+	workers       int         // SetParallelism setting, replayed onto late-attached subsystems
 }
 
 // flowEndpointIDs is one attached flow's endpoints by identifier.
@@ -581,6 +640,29 @@ func buildWith(cfg config, pts []geom.Point, src *rng.Source) (*Network, error) 
 	// node whose radio adjacency changes under mobility or churn is
 	// re-examined on the next step, and only those (see SetPositions).
 	n.grid.SetOnAdjacencyChange(engine.Activate)
+	// Spatial tiling: shard the frontier by region tile (WithTiles; the
+	// auto default only engages on multicore hosts with enough nodes to
+	// amortize the per-tile barriers). Ownership follows positions, so the
+	// grid's move hook keeps the assignment current under mobility.
+	tiles := cfg.tiles
+	if tiles == 0 {
+		tiles = goruntime.GOMAXPROCS(0)
+		if maxT := len(n.pts) / 2048; tiles > maxT {
+			tiles = maxT
+		}
+		if tiles < 1 {
+			tiles = 1
+		}
+	}
+	if tiles > 1 {
+		tiling := topology.NewTiling(n.region, tiles)
+		if err := engine.SetTiles(tiling.Tiles(), func(i int) int {
+			return tiling.TileOf(n.grid.Positions()[i])
+		}); err != nil {
+			return nil, err
+		}
+		n.grid.SetOnMove(engine.Retile)
+	}
 	for _, id := range n.ids {
 		if id >= n.nextID {
 			n.nextID = id + 1

@@ -1,0 +1,120 @@
+package selfstab
+
+import "testing"
+
+// tiledCompactNet is compactNet with a forced tile count: churn + traffic
+// + energy attached, so the oracle exercises every subsystem's interplay
+// with the tiled step engine.
+func tiledCompactNet(t *testing.T, seed int64, tiles int) *Network {
+	t.Helper()
+	net := churnNet(t, 220, seed, WithTiles(tiles))
+	if err := net.AttachTraffic(TrafficConfig{
+		QueueCap: 8,
+		Flows:    mixedWorkload(net, 12),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachEnergy(EnergyConfig{Capacity: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachChurn(ChurnConfig{
+		ArrivalRate:   0.3,
+		DepartureRate: 0.3,
+		CrashRate:     0.1,
+		SleepRate:     0.1,
+		SleepSteps:    6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestTilesOracleMixedTrace is the public-layer tiling oracle: a full
+// churn + traffic + energy run must produce identical ledgers untiled and
+// at any tile count, at one and at four workers — tiling is purely a
+// performance knob. Runs under -race in CI to also pin the halo
+// exchange's synchronization discipline.
+func TestTilesOracleMixedTrace(t *testing.T) {
+	build := func(tiles, workers int) compactObservables {
+		net := tiledCompactNet(t, 727, tiles)
+		if got := net.Tiles(); got != tiles {
+			t.Fatalf("Tiles() = %d, want %d", got, tiles)
+		}
+		net.SetParallelism(workers)
+		if err := net.Run(130); err != nil {
+			t.Fatal(err)
+		}
+		net.DetachChurn()
+		if _, err := net.Stabilize(3000); err != nil {
+			t.Fatal(err)
+		}
+		return observe(t, net)
+	}
+	baseline := build(1, 1)
+	for _, tiles := range []int{4, 6} {
+		for _, workers := range []int{1, 4} {
+			compareObservables(t, "tiled vs untiled", baseline, build(tiles, workers))
+		}
+	}
+}
+
+// TestCompactUnderTiling: the compaction twin oracle on a tiled network —
+// repeated mid-run compactions (which remap tile ownership along with
+// every other per-slot array) must leave every identifier-keyed
+// observable bit-identical to the uncompacted twin.
+func TestCompactUnderTiling(t *testing.T) {
+	plain := tiledCompactNet(t, 838, 6)
+	compacted := tiledCompactNet(t, 838, 6)
+	for seg := 0; seg < 4; seg++ {
+		if err := plain.Run(45); err != nil {
+			t.Fatal(err)
+		}
+		if err := compacted.Run(45); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := compacted.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		compareObservables(t, "mid-run segment", observe(t, plain), observe(t, compacted))
+	}
+	plain.DetachChurn()
+	compacted.DetachChurn()
+	plain.DetachEnergy()
+	compacted.DetachEnergy()
+	if _, err := plain.Stabilize(3000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compacted.Stabilize(3000); err != nil {
+		t.Fatal(err)
+	}
+	compareObservables(t, "final", observe(t, plain), observe(t, compacted))
+	if err := compacted.Verify(); err != nil {
+		t.Fatalf("compacted tiled twin failed verification: %v", err)
+	}
+}
+
+// TestWithTilesValidation: the option rejects nonsense and the accessor
+// reports the resolved count.
+func TestWithTilesValidation(t *testing.T) {
+	if _, err := NewRandomNetwork(30, WithTiles(0)); err == nil {
+		t.Error("WithTiles(0) accepted")
+	}
+	if _, err := NewRandomNetwork(30, WithTiles(-2)); err == nil {
+		t.Error("WithTiles(-2) accepted")
+	}
+	net, err := NewRandomNetwork(30, WithSeed(5), WithTiles(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Tiles(); got != 3 {
+		t.Fatalf("Tiles() = %d, want 3", got)
+	}
+	// The auto default never tiles a world this small (N/2048 < 1).
+	small, err := NewRandomNetwork(30, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := small.Tiles(); got != 1 {
+		t.Fatalf("auto tiling picked %d tiles for 30 nodes, want 1", got)
+	}
+}
