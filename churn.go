@@ -6,6 +6,7 @@ import (
 	"selfstab/internal/geom"
 	"selfstab/internal/rng"
 	"selfstab/internal/runtime"
+	"selfstab/internal/snapshot"
 )
 
 // NodeStatus is a node's lifecycle state under churn.
@@ -173,25 +174,39 @@ func (n *Network) Population() (alive, sleeping, dead int) {
 // and integrate into the clustering over the following steps. Indices of
 // existing nodes are unchanged; the new nodes take the next indices.
 func (n *Network) AddNodes(positions []Point) ([]int64, error) {
-	if len(positions) == 0 {
-		return nil, fmt.Errorf("selfstab: no positions")
+	// Identifiers are sequential from nextID, so the journal only needs the
+	// positions — replay hands out the same ids.
+	first := n.nextID
+	if err := n.applyOp(snapshot.Op{Kind: snapshot.OpAddNodes, Points: toSnapshotPoints(positions)}); err != nil {
+		return nil, err
 	}
-	pts := make([]geom.Point, len(positions))
-	for i, p := range positions {
-		pts[i] = geom.Point{X: p.X, Y: p.Y}
-		if !n.region.Contains(pts[i]) {
-			return nil, fmt.Errorf("selfstab: position %d (%v, %v) outside the region", i, p.X, p.Y)
-		}
-	}
-	ids := make([]int64, len(pts))
-	for i, p := range pts {
-		id, err := n.addNodeAt(p)
-		if err != nil {
-			return nil, err
-		}
-		ids[i] = id
+	ids := make([]int64, len(positions))
+	for i := range ids {
+		ids[i] = first + int64(i)
 	}
 	return ids, nil
+}
+
+// addNodesImpl is the journaled implementation behind AddNodes. All
+// positions are validated before any node is added, so a failed call
+// mutates nothing.
+func (n *Network) addNodesImpl(points []snapshot.Point) error {
+	if len(points) == 0 {
+		return fmt.Errorf("selfstab: no positions")
+	}
+	pts := make([]geom.Point, len(points))
+	for i, p := range points {
+		pts[i] = geom.Point{X: p.X, Y: p.Y}
+		if !n.region.Contains(pts[i]) {
+			return fmt.Errorf("selfstab: position %d (%v, %v) outside the region", i, p.X, p.Y)
+		}
+	}
+	for _, p := range pts {
+		if _, err := n.addNodeAt(p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // addNodeAt appends one node at p: grid and graph first (so the engine
@@ -226,7 +241,7 @@ func (n *Network) addNodeAt(p geom.Point) (int64, error) {
 // stable, but the nodes never return — model a temporary outage with
 // SleepNodes/WakeNodes or a reboot with CrashNodes instead.
 func (n *Network) RemoveNodes(ids ...int64) error {
-	return n.eachIdxOf(ids, n.removeNodeIdx)
+	return n.applyOp(snapshot.Op{Kind: snapshot.OpRemoveNodes, IDs: append([]int64(nil), ids...)})
 }
 
 // CrashNodes power-cycles the given nodes: all protocol state, the
@@ -234,7 +249,7 @@ func (n *Network) RemoveNodes(ids ...int64) error {
 // cold at its current position (a sleeping node reboots awake). The
 // protocol re-integrates it exactly like a fresh arrival.
 func (n *Network) CrashNodes(ids ...int64) error {
-	return n.eachIdxOf(ids, n.crashNodeIdx)
+	return n.applyOp(snapshot.Op{Kind: snapshot.OpCrashNodes, IDs: append([]int64(nil), ids...)})
 }
 
 // SleepNodes duty-cycles the given nodes off: radio silent, protocol
@@ -242,30 +257,14 @@ func (n *Network) CrashNodes(ids ...int64) error {
 // (configure WithCacheTTL — without eviction a sleeping neighbor lingers
 // in caches forever). Nodes slept by this call stay down until WakeNodes.
 func (n *Network) SleepNodes(ids ...int64) error {
-	return n.eachIdxOf(ids, func(i int) error { return n.sleepNodeIdx(i, 0) })
+	return n.applyOp(snapshot.Op{Kind: snapshot.OpSleepNodes, IDs: append([]int64(nil), ids...)})
 }
 
 // WakeNodes brings sleeping nodes back at their current positions with
 // their frozen — possibly stale — state; self-stabilization repairs the
 // staleness over the following steps.
 func (n *Network) WakeNodes(ids ...int64) error {
-	return n.eachIdxOf(ids, n.wakeNodeIdx)
-}
-
-func (n *Network) eachIdxOf(ids []int64, op func(i int) error) error {
-	if len(ids) == 0 {
-		return fmt.Errorf("selfstab: no node ids")
-	}
-	for _, id := range ids {
-		i, ok := n.indexOfID(id)
-		if !ok {
-			return fmt.Errorf("selfstab: unknown node id %d", id)
-		}
-		if err := op(i); err != nil {
-			return err
-		}
-	}
-	return nil
+	return n.applyOp(snapshot.Op{Kind: snapshot.OpWakeNodes, IDs: append([]int64(nil), ids...)})
 }
 
 func (n *Network) removeNodeIdx(i int) error {
@@ -413,6 +412,15 @@ func (c *churnState) compactSleepers(remap []int32) {
 // radius. Attaching replaces any previously attached schedule; the
 // ledger persists across attaches.
 func (n *Network) AttachChurn(cfg ChurnConfig) error {
+	sc := churnToSnapshot(cfg)
+	return n.applyOp(snapshot.Op{Kind: snapshot.OpAttachChurn, Churn: &sc})
+}
+
+// attachChurnImpl is the journaled implementation behind AttachChurn. The
+// journal records the config as given; defaults are refilled here, so a
+// replayed attach resolves identically.
+func (n *Network) attachChurnImpl(sc snapshot.ChurnConfig) error {
+	cfg := churnFromSnapshot(sc)
 	cfg.fillDefaults()
 	if err := cfg.validate(); err != nil {
 		return err
@@ -436,8 +444,7 @@ func (n *Network) AttachChurn(cfg ChurnConfig) error {
 // currently sleeping on a schedule will not be woken — call WakeNodes, or
 // re-attach. The convergence ledger stays readable.
 func (n *Network) DetachChurn() {
-	n.engine.SetPreStep(nil)
-	n.churnAttached = false
+	_ = n.applyOp(snapshot.Op{Kind: snapshot.OpDetachChurn})
 }
 
 // churnPreStep is the engine pre-step hook: one step's worth of scheduled

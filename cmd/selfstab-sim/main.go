@@ -10,6 +10,7 @@
 //	selfstab-sim churn -nodes 1000 -steps 500 -scenario steady
 //	selfstab-sim energy -nodes 1000 -steps 500 -scenario rotation
 //	selfstab-sim scale -nodes 100000 -scenario quiescent
+//	selfstab-sim serve -nodes 500 -sps 10 -preload churn -snapshot-dir /tmp/snaps
 //
 // Experiments: table1, table2, table3, table4, table5, mobility,
 // stabilization, gamma, metrics, orders, energy, daemons, scalability,
@@ -37,6 +38,13 @@
 // under sustained churn with dead-slot auto-compaction bounding the
 // slot count.
 //
+// The serve subcommand runs the simulation as a long-lived service: the
+// world steps in scaled real time while an HTTP/JSON API (internal/serve)
+// serves live cluster maps and ledgers, accepts scenario injection,
+// streams step frames over SSE, exposes Prometheus-style metrics, and
+// checkpoints to versioned snapshots that restore and replay
+// bit-identically (-restore). SIGTERM drains gracefully.
+//
 // An unknown subcommand, experiment, scenario or workload name exits
 // non-zero with a usage line on stderr.
 package main
@@ -63,7 +71,7 @@ type renderer interface{ Render() string }
 
 // usage is the one-line surface summary attached to every bad-name error,
 // so a typo exits non-zero with actionable help on stderr.
-const usage = "usage: selfstab-sim [-exp <experiment>] [flags] | selfstab-sim traffic [flags] | selfstab-sim churn [flags] | selfstab-sim energy [flags] | selfstab-sim scale [flags]"
+const usage = "usage: selfstab-sim [-exp <experiment>] [flags] | selfstab-sim traffic [flags] | selfstab-sim churn [flags] | selfstab-sim energy [flags] | selfstab-sim scale [flags] | selfstab-sim serve [flags]"
 
 func usageErrorf(format string, a ...any) error {
 	return fmt.Errorf(format+"\n"+usage, a...)
@@ -80,8 +88,10 @@ func run(args []string, out io.Writer) error {
 			return runEnergy(args[1:], out)
 		case "scale":
 			return runScale(args[1:], out)
+		case "serve":
+			return runServe(args[1:], out)
 		default:
-			return usageErrorf("unknown subcommand %q (want traffic, churn, energy or scale)", args[0])
+			return usageErrorf("unknown subcommand %q (want traffic, churn, energy, scale or serve)", args[0])
 		}
 	}
 	fs := flag.NewFlagSet("selfstab-sim", flag.ContinueOnError)

@@ -139,6 +139,7 @@ func TestRunUnknownNamesExitNonZero(t *testing.T) {
 		{"unknown scale scenario", []string{"scale", "-scenario", "nope"}, "unknown scale scenario"},
 		{"scale too few nodes", []string{"scale", "-nodes", "3"}, "at least 10 nodes"},
 		{"scale bad compact fraction", []string{"scale", "-compact", "1.5"}, "outside [0, 1]"},
+		{"unknown serve preload", []string{"serve", "-preload", "nope"}, "unknown preload scenario"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -234,6 +235,59 @@ func TestRunChurnBadRatesFailFast(t *testing.T) {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("run(%v) accepted an invalid churn config", args)
 		}
+	}
+}
+
+// TestRunServeBadArgs is the serve subcommand's validation contract,
+// table-driven: every malformed flag combination fails fast with the
+// usage line — before any world is built or port bound — and writes
+// nothing to stdout.
+func TestRunServeBadArgs(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"too few nodes", []string{"serve", "-nodes", "1"}, "at least 2 nodes"},
+		{"zero sps", []string{"serve", "-sps", "0"}, "must be positive"},
+		{"negative sps", []string{"serve", "-sps", "-3"}, "must be positive"},
+		{"bad range", []string{"serve", "-range", "0"}, "outside (0, 1]"},
+		{"range above one", []string{"serve", "-range", "1.5"}, "outside (0, 1]"},
+		{"zero cachettl", []string{"serve", "-cachettl", "0"}, "at least 1"},
+		{"unknown preload", []string{"serve", "-preload", "storm"}, "unknown preload scenario"},
+		{"empty addr", []string{"serve", "-addr", ""}, "must not be empty"},
+		{"drain without dir", []string{"serve", "-drain-snapshot"}, "requires -snapshot-dir"},
+		{"restore plus nodes", []string{"serve", "-restore", "x.json", "-nodes", "100"}, "conflicts"},
+		{"restore plus seed", []string{"serve", "-restore", "x.json", "-seed", "2"}, "conflicts"},
+		{"restore plus preload", []string{"serve", "-restore", "x.json", "-preload", "churn"}, "conflicts"},
+		{"positional argument", []string{"serve", "leftover"}, "unexpected argument"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(tt.args, &buf)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want usage error", tt.args)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("run(%v) error %q, want it to mention %q", tt.args, err, tt.want)
+			}
+			if !strings.Contains(err.Error(), "usage: selfstab-sim") {
+				t.Errorf("run(%v) error %q lacks the usage line", tt.args, err)
+			}
+			if buf.Len() != 0 {
+				t.Errorf("run(%v) wrote %q to stdout on a usage error", tt.args, buf.String())
+			}
+		})
+	}
+	// Malformed flag values come back from the flag package itself.
+	var buf bytes.Buffer
+	if err := run([]string{"serve", "-sps", "abc"}, &buf); err == nil {
+		t.Error("bad serve flag accepted")
+	}
+	// A missing restore file fails after validation, at open time.
+	if err := run([]string{"serve", "-restore", "/nonexistent/snap.json"}, &buf); err == nil {
+		t.Error("missing restore file accepted")
 	}
 }
 

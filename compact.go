@@ -2,6 +2,8 @@ package selfstab
 
 import (
 	"fmt"
+
+	"selfstab/internal/snapshot"
 )
 
 // Compact recycles the index slots of permanently departed nodes. Slots
@@ -24,6 +26,18 @@ import (
 // node *indices*: Positions, State(i) and friends renumber, and N()
 // shrinks by the returned count. Call between steps — never from a hook.
 func (n *Network) Compact() (removed int, err error) {
+	oldN := len(n.pts)
+	if err := n.applyOp(snapshot.Op{Kind: snapshot.OpCompact}); err != nil {
+		return 0, err
+	}
+	return oldN - len(n.pts), nil
+}
+
+// compactImpl is the journaled implementation behind Compact. It is also
+// what the auto-compaction threshold calls directly: a triggered
+// compaction is a deterministic consequence of the journaled
+// SetAutoCompact op, so journaling it too would compact twice on replay.
+func (n *Network) compactImpl() (removed int, err error) {
 	remap, newN := n.engine.CompactionRemap()
 	if remap == nil {
 		return 0, nil
@@ -77,11 +91,7 @@ func (n *Network) Compact() (removed int, err error) {
 // operating-population × 1/(1-frac) slots. The caveat of Compact
 // applies: each triggered compaction renumbers node indices.
 func (n *Network) SetAutoCompact(frac float64) error {
-	if frac < 0 || frac > 1 {
-		return fmt.Errorf("selfstab: auto-compact fraction %v outside [0, 1]", frac)
-	}
-	n.autoCompact = frac
-	return nil
+	return n.applyOp(snapshot.Op{Kind: snapshot.OpSetAutoCompact, Frac: frac})
 }
 
 // maybeAutoCompact runs a compaction when the dead-slot fraction reached
@@ -94,6 +104,6 @@ func (n *Network) maybeAutoCompact() error {
 	if dead == 0 || float64(dead) < n.autoCompact*float64(len(n.pts)) {
 		return nil
 	}
-	_, err := n.Compact()
+	_, err := n.compactImpl()
 	return err
 }

@@ -5,6 +5,7 @@ import (
 
 	"selfstab/internal/energy"
 	"selfstab/internal/runtime"
+	"selfstab/internal/snapshot"
 )
 
 // EnergyConfig parameterizes the battery model attached to a Network.
@@ -69,6 +70,13 @@ type EnergyConfig struct {
 // Attaching replaces any previously attached model and resets its
 // statistics; batteries restart full.
 func (n *Network) AttachEnergy(cfg EnergyConfig) error {
+	sc := energyToSnapshot(cfg)
+	return n.applyOp(snapshot.Op{Kind: snapshot.OpAttachEnergy, Energy: &sc})
+}
+
+// attachEnergyImpl is the journaled implementation behind AttachEnergy.
+func (n *Network) attachEnergyImpl(sc snapshot.EnergyConfig) error {
+	cfg := energyFromSnapshot(sc)
 	if n.cfg.cacheTTL == 0 {
 		return fmt.Errorf("selfstab: energy requires cache eviction — construct the network with WithCacheTTL")
 	}
@@ -140,8 +148,7 @@ func (n *Network) AttachEnergy(cfg EnergyConfig) error {
 // frozen battery levels keep shaping the election); re-attach or use a
 // non-rotating model to clear them.
 func (n *Network) DetachEnergy() {
-	n.energyOn = false
-	n.installStepPhases()
+	_ = n.applyOp(snapshot.Op{Kind: snapshot.OpDetachEnergy})
 }
 
 // stepPhases is the engine post-step hook: the traffic data plane moves

@@ -1,0 +1,64 @@
+package serve
+
+import "sync"
+
+// hub fans step frames out to SSE subscribers. Publishing never blocks:
+// a subscriber whose buffer is full misses that frame (the next one
+// carries fresher state anyway), so a stalled client can never stall the
+// step loop or other subscribers.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan []byte]struct{})}
+}
+
+func (h *hub) subscribe() chan []byte {
+	ch := make(chan []byte, 8)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(ch)
+		return ch
+	}
+	h.subs[ch] = struct{}{}
+	return ch
+}
+
+func (h *hub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.subs, ch)
+}
+
+func (h *hub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+func (h *hub) publish(frame []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- frame:
+		default: // slow consumer: drop
+		}
+	}
+}
+
+// closeAll ends every subscription (server drain). Subscribed channels
+// are closed so handlers return; late subscribers get a closed channel.
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+		delete(h.subs, ch)
+	}
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"selfstab"
+)
+
+// injectRequest is the POST /inject body. Kind selects the scenario;
+// the other fields parameterize it:
+//
+//	{"kind":"faults","frac":0.3}
+//	{"kind":"crash","ids":[4,17]}            also sleep, wake, remove
+//	{"kind":"crash_region","x":0.5,"y":0.5,"radius":0.1}   also sleep_region
+//	{"kind":"churn_burst","count":10,"op":"crash"}         op: crash|sleep|remove
+//	{"kind":"add_nodes","points":[{"x":0.2,"y":0.8}]}
+//	{"kind":"spawn_flow","flow":{"kind":"cbr","src":1,"dst":2,"rate":0.5}}
+//	{"kind":"compact"}
+//
+// Region and burst injections resolve their victims server-side into an
+// explicit id list before journaling, so a restored snapshot replays the
+// exact same casualties without the server in the loop.
+type injectRequest struct {
+	Kind   string       `json:"kind"`
+	Frac   float64      `json:"frac,omitempty"`
+	IDs    []int64      `json:"ids,omitempty"`
+	X      float64      `json:"x,omitempty"`
+	Y      float64      `json:"y,omitempty"`
+	Radius float64      `json:"radius,omitempty"`
+	Count  int          `json:"count,omitempty"`
+	Op     string       `json:"op,omitempty"`
+	Points []pointJSON  `json:"points,omitempty"`
+	Flow   *flowRequest `json:"flow,omitempty"`
+}
+
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// flowRequest describes one flow for spawn_flow. Kind "hotspot" uses Dst
+// as the sink and Sources as the fan-in.
+type flowRequest struct {
+	Kind    string  `json:"kind"` // "cbr", "poisson" or "hotspot"
+	Src     int64   `json:"src,omitempty"`
+	Dst     int64   `json:"dst"`
+	Rate    float64 `json:"rate"`
+	Sources int     `json:"sources,omitempty"`
+}
+
+func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
+	var req injectRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad inject body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	affected, err := s.applyInjectLocked(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kind":     req.Kind,
+		"step":     s.net.StepCount(),
+		"affected": affected,
+	})
+}
+
+// applyInjectLocked performs one injection under the write lock and
+// returns how many nodes it touched.
+func (s *Server) applyInjectLocked(req injectRequest) (int, error) {
+	switch req.Kind {
+	case "faults":
+		if req.Frac <= 0 || req.Frac > 1 {
+			return 0, errf("faults frac %v outside (0, 1]", req.Frac)
+		}
+		s.net.InjectFaults(req.Frac)
+		return s.net.N(), nil
+	case "crash":
+		return len(req.IDs), s.net.CrashNodes(req.IDs...)
+	case "sleep":
+		return len(req.IDs), s.net.SleepNodes(req.IDs...)
+	case "wake":
+		return len(req.IDs), s.net.WakeNodes(req.IDs...)
+	case "remove":
+		return len(req.IDs), s.net.RemoveNodes(req.IDs...)
+	case "crash_region":
+		ids, err := s.aliveInRegionLocked(req.X, req.Y, req.Radius)
+		if err != nil || len(ids) == 0 {
+			return 0, err
+		}
+		return len(ids), s.net.CrashNodes(ids...)
+	case "sleep_region":
+		ids, err := s.aliveInRegionLocked(req.X, req.Y, req.Radius)
+		if err != nil || len(ids) == 0 {
+			return 0, err
+		}
+		return len(ids), s.net.SleepNodes(ids...)
+	case "churn_burst":
+		return s.churnBurstLocked(req.Count, req.Op)
+	case "add_nodes":
+		pts := make([]selfstab.Point, len(req.Points))
+		for i, p := range req.Points {
+			pts[i] = selfstab.Point{X: p.X, Y: p.Y}
+		}
+		_, err := s.net.AddNodes(pts)
+		return len(pts), err
+	case "spawn_flow":
+		return s.spawnFlowLocked(req.Flow)
+	case "compact":
+		removed, err := s.net.Compact()
+		return removed, err
+	}
+	return 0, errf("unknown inject kind %q", req.Kind)
+}
+
+// aliveInRegionLocked resolves the alive nodes within radius of (x, y)
+// into an id list — the explicit form that gets journaled.
+func (s *Server) aliveInRegionLocked(x, y, radius float64) ([]int64, error) {
+	if radius <= 0 {
+		return nil, errf("region radius %v must be positive", radius)
+	}
+	var ids []int64
+	r2 := radius * radius
+	for i := 0; i < s.net.N(); i++ {
+		st, err := s.net.State(i)
+		if err != nil {
+			return nil, err
+		}
+		if st.Status != selfstab.NodeAlive {
+			continue
+		}
+		dx, dy := st.Position.X-x, st.Position.Y-y
+		if dx*dx+dy*dy <= r2 {
+			ids = append(ids, st.ID)
+		}
+	}
+	return ids, nil
+}
+
+// churnBurstLocked applies op to the first count alive nodes in index
+// order — deterministic, so the journaled id list is reproducible from
+// the request alone.
+func (s *Server) churnBurstLocked(count int, op string) (int, error) {
+	if count <= 0 {
+		return 0, errf("churn burst count %d must be positive", count)
+	}
+	var ids []int64
+	for i := 0; i < s.net.N() && len(ids) < count; i++ {
+		st, err := s.net.State(i)
+		if err != nil {
+			return 0, err
+		}
+		if st.Status == selfstab.NodeAlive {
+			ids = append(ids, st.ID)
+		}
+	}
+	if len(ids) == 0 {
+		return 0, errf("no alive nodes for a churn burst")
+	}
+	switch op {
+	case "crash":
+		return len(ids), s.net.CrashNodes(ids...)
+	case "sleep":
+		return len(ids), s.net.SleepNodes(ids...)
+	case "remove":
+		return len(ids), s.net.RemoveNodes(ids...)
+	}
+	return 0, errf("unknown churn burst op %q (want crash, sleep or remove)", op)
+}
+
+// spawnFlowLocked appends one flow to the attached data plane's config
+// and re-attaches. Re-attaching resets the traffic ledger (documented in
+// the README's serving section); scrape /stats/traffic first if the old
+// counters matter.
+func (s *Server) spawnFlowLocked(fr *flowRequest) (int, error) {
+	if fr == nil {
+		return 0, errf("spawn_flow without a flow")
+	}
+	cfg, attached := s.net.TrafficConfig()
+	if !attached {
+		return 0, errf("no traffic attached — spawn_flow needs an existing data plane")
+	}
+	var flow selfstab.Flow
+	switch fr.Kind {
+	case "cbr":
+		flow = selfstab.CBRFlow(fr.Src, fr.Dst, fr.Rate)
+	case "poisson":
+		flow = selfstab.PoissonFlow(fr.Src, fr.Dst, fr.Rate)
+	case "hotspot":
+		if fr.Sources <= 0 {
+			return 0, errf("hotspot flow needs sources > 0")
+		}
+		flow = selfstab.HotspotFlow(fr.Dst, fr.Sources, fr.Rate)
+	default:
+		return 0, errf("unknown flow kind %q (want cbr, poisson or hotspot)", fr.Kind)
+	}
+	cfg.Flows = append(cfg.Flows, flow)
+	if err := s.net.AttachTraffic(cfg); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+func errf(format string, a ...any) error {
+	return fmt.Errorf("serve: "+format, a...)
+}

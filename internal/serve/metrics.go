@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics renders the world's counters in Prometheus text
+// exposition format. Population and step counters are O(1); the traffic
+// and energy blocks appear only when the subsystem is attached.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var b strings.Builder
+	alive, sleeping, dead := s.net.Population()
+	fmt.Fprintf(&b, "# HELP selfstab_step_count Completed protocol steps.\n")
+	fmt.Fprintf(&b, "# TYPE selfstab_step_count counter\n")
+	fmt.Fprintf(&b, "selfstab_step_count %d\n", s.net.StepCount())
+	fmt.Fprintf(&b, "# HELP selfstab_nodes Node slots by lifecycle status.\n")
+	fmt.Fprintf(&b, "# TYPE selfstab_nodes gauge\n")
+	fmt.Fprintf(&b, "selfstab_nodes{status=\"alive\"} %d\n", alive)
+	fmt.Fprintf(&b, "selfstab_nodes{status=\"sleeping\"} %d\n", sleeping)
+	fmt.Fprintf(&b, "selfstab_nodes{status=\"dead\"} %d\n", dead)
+
+	if ts, err := s.net.TrafficStats(); err == nil {
+		fmt.Fprintf(&b, "# HELP selfstab_traffic_packets_total Data-plane packet counters by fate.\n")
+		fmt.Fprintf(&b, "# TYPE selfstab_traffic_packets_total counter\n")
+		fmt.Fprintf(&b, "selfstab_traffic_packets_total{fate=\"offered\"} %d\n", ts.Offered)
+		fmt.Fprintf(&b, "selfstab_traffic_packets_total{fate=\"delivered\"} %d\n", ts.Delivered)
+		fmt.Fprintf(&b, "selfstab_traffic_packets_total{fate=\"dropped_queue\"} %d\n", ts.DropsQueue)
+		fmt.Fprintf(&b, "selfstab_traffic_packets_total{fate=\"dropped_noroute\"} %d\n", ts.DropsNoRoute)
+		fmt.Fprintf(&b, "selfstab_traffic_packets_total{fate=\"dropped_ttl\"} %d\n", ts.DropsTTL)
+		fmt.Fprintf(&b, "selfstab_traffic_packets_total{fate=\"dropped_dead_endpoint\"} %d\n", ts.DropsDeadEndpoint)
+		fmt.Fprintf(&b, "# HELP selfstab_traffic_in_flight Packets currently queued.\n")
+		fmt.Fprintf(&b, "# TYPE selfstab_traffic_in_flight gauge\n")
+		fmt.Fprintf(&b, "selfstab_traffic_in_flight %d\n", ts.InFlight)
+		fmt.Fprintf(&b, "# HELP selfstab_traffic_delivery_ratio Delivered over decided-fate packets.\n")
+		fmt.Fprintf(&b, "# TYPE selfstab_traffic_delivery_ratio gauge\n")
+		fmt.Fprintf(&b, "selfstab_traffic_delivery_ratio %g\n", ts.DeliveryRatio)
+	}
+
+	if es, err := s.net.EnergyStats(); err == nil {
+		fmt.Fprintf(&b, "# HELP selfstab_energy_drain_total Energy drained by cause.\n")
+		fmt.Fprintf(&b, "# TYPE selfstab_energy_drain_total counter\n")
+		fmt.Fprintf(&b, "selfstab_energy_drain_total{cause=\"head\"} %g\n", es.DrainHead)
+		fmt.Fprintf(&b, "selfstab_energy_drain_total{cause=\"member\"} %g\n", es.DrainMember)
+		fmt.Fprintf(&b, "selfstab_energy_drain_total{cause=\"sleep\"} %g\n", es.DrainSleep)
+		fmt.Fprintf(&b, "selfstab_energy_drain_total{cause=\"tx\"} %g\n", es.DrainTx)
+		fmt.Fprintf(&b, "selfstab_energy_drain_total{cause=\"rx\"} %g\n", es.DrainRx)
+		fmt.Fprintf(&b, "# HELP selfstab_energy_depletions_total Batteries that crossed zero.\n")
+		fmt.Fprintf(&b, "# TYPE selfstab_energy_depletions_total counter\n")
+		fmt.Fprintf(&b, "selfstab_energy_depletions_total %d\n", es.Depletions)
+		fmt.Fprintf(&b, "# HELP selfstab_energy_mean_remaining Mean remaining battery fraction.\n")
+		fmt.Fprintf(&b, "# TYPE selfstab_energy_mean_remaining gauge\n")
+		fmt.Fprintf(&b, "selfstab_energy_mean_remaining %g\n", es.MeanRemaining)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,551 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selfstab"
+)
+
+func testWorld(t testing.TB, nodes int) *selfstab.Network {
+	t.Helper()
+	net, err := selfstab.NewRandomNetwork(nodes,
+		selfstab.WithSeed(7), selfstab.WithRange(0.14), selfstab.WithCacheTTL(4),
+		selfstab.WithStableWindow(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Stabilize(2000); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func testServer(t testing.TB, nodes int, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(testWorld(t, nodes), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, body any, v any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("POST %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	net := testWorld(t, 20)
+	if _, err := New(net, Config{StepsPerSecond: -1}); err == nil {
+		t.Error("negative sps accepted")
+	}
+	if _, err := New(net, Config{DrainSnapshot: true}); err == nil {
+		t.Error("drain snapshot without a directory accepted")
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	_, ts := testServer(t, 40, Config{})
+
+	var health struct {
+		OK    bool `json:"ok"`
+		Nodes int  `json:"nodes"`
+		Alive int  `json:"alive"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if !health.OK || health.Nodes != 40 || health.Alive != 40 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	var state struct {
+		Nodes []nodeJSON `json:"nodes"`
+	}
+	getJSON(t, ts.URL+"/state", &state)
+	if len(state.Nodes) != 40 {
+		t.Fatalf("state has %d nodes, want 40", len(state.Nodes))
+	}
+	for _, n := range state.Nodes {
+		if n.Status != "alive" {
+			t.Errorf("node %d status %q", n.ID, n.Status)
+		}
+	}
+
+	var node nodeJSON
+	getJSON(t, fmt.Sprintf("%s/state/node?id=%d", ts.URL, state.Nodes[3].ID), &node)
+	if node != state.Nodes[3] {
+		t.Errorf("node lookup %+v != state entry %+v", node, state.Nodes[3])
+	}
+	if resp := getJSON(t, ts.URL+"/state/node?id=999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/state/node?id=abc", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id: status %d, want 400", resp.StatusCode)
+	}
+
+	var clusters struct {
+		Clusters []selfstab.Cluster `json:"clusters"`
+	}
+	getJSON(t, ts.URL+"/clusters", &clusters)
+	if len(clusters.Clusters) == 0 {
+		t.Error("no clusters reported")
+	}
+	total := 0
+	for _, c := range clusters.Clusters {
+		total += len(c.Members)
+	}
+	if total != 40 {
+		t.Errorf("cluster members sum to %d, want 40", total)
+	}
+
+	var cstats struct {
+		Stats selfstab.Stats `json:"stats"`
+	}
+	getJSON(t, ts.URL+"/stats/clustering", &cstats)
+	if cstats.Stats.Clusters != len(clusters.Clusters) {
+		t.Errorf("stats report %d clusters, map has %d", cstats.Stats.Clusters, len(clusters.Clusters))
+	}
+
+	getJSON(t, ts.URL+"/stats/convergence", &struct{}{})
+
+	// No traffic or energy attached: 404s with a JSON error.
+	if resp := getJSON(t, ts.URL+"/stats/traffic", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("traffic stats without traffic: status %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/stats/energy", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("energy stats without energy: status %d, want 404", resp.StatusCode)
+	}
+
+	// Method checks.
+	if resp := postJSON(t, ts.URL+"/healthz", nil, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz: status %d, want 405", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/inject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /inject: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	_, ts := testServer(t, 30, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"selfstab_step_count",
+		`selfstab_nodes{status="alive"} 30`,
+		`selfstab_nodes{status="dead"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "selfstab_traffic") {
+		t.Error("traffic metrics present without traffic attached")
+	}
+}
+
+func TestInject(t *testing.T) {
+	srv, ts := testServer(t, 40, Config{})
+
+	var state struct {
+		Nodes []nodeJSON `json:"nodes"`
+	}
+	getJSON(t, ts.URL+"/state", &state)
+	victim := state.Nodes[5].ID
+
+	var result struct {
+		Affected int    `json:"affected"`
+		Kind     string `json:"kind"`
+	}
+	resp := postJSON(t, ts.URL+"/inject",
+		map[string]any{"kind": "remove", "ids": []int64{victim}}, &result)
+	if resp.StatusCode != http.StatusOK || result.Affected != 1 {
+		t.Fatalf("remove inject: status %d, result %+v", resp.StatusCode, result)
+	}
+	var node nodeJSON
+	getJSON(t, fmt.Sprintf("%s/state/node?id=%d", ts.URL, victim), &node)
+	if node.Status != "dead" {
+		t.Errorf("removed node status %q, want dead", node.Status)
+	}
+
+	// Regional sleep around a known node: at least that node sleeps.
+	target := state.Nodes[10]
+	postJSON(t, ts.URL+"/inject", map[string]any{
+		"kind": "sleep_region", "x": target.X, "y": target.Y, "radius": 0.03,
+	}, &result)
+	if result.Affected < 1 {
+		t.Fatalf("sleep_region affected %d nodes", result.Affected)
+	}
+	getJSON(t, fmt.Sprintf("%s/state/node?id=%d", ts.URL, target.ID), &node)
+	if node.Status != "sleeping" {
+		t.Errorf("regional sleep left node %d %q", target.ID, node.Status)
+	}
+
+	// Churn burst.
+	postJSON(t, ts.URL+"/inject", map[string]any{
+		"kind": "churn_burst", "count": 3, "op": "crash",
+	}, &result)
+	if result.Affected != 3 {
+		t.Errorf("churn_burst affected %d, want 3", result.Affected)
+	}
+
+	// add_nodes grows the world.
+	postJSON(t, ts.URL+"/inject", map[string]any{
+		"kind": "add_nodes", "points": []map[string]float64{{"x": 0.5, "y": 0.5}},
+	}, &result)
+	var health struct {
+		Nodes int `json:"nodes"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Nodes != 41 {
+		t.Errorf("after add_nodes: %d nodes, want 41", health.Nodes)
+	}
+
+	// Bad requests are 400s and mutate nothing.
+	for _, body := range []any{
+		map[string]any{"kind": "nope"},
+		map[string]any{"kind": "faults", "frac": 2.0},
+		map[string]any{"kind": "crash", "ids": []int64{999999}},
+		map[string]any{"kind": "crash_region", "x": 0.5, "y": 0.5, "radius": -1},
+		map[string]any{"kind": "churn_burst", "count": 0, "op": "crash"},
+		map[string]any{"kind": "spawn_flow", "flow": map[string]any{"kind": "cbr", "src": 1, "dst": 2, "rate": 0.5}},
+		map[string]any{"bogus_field": 1},
+	} {
+		if resp := postJSON(t, ts.URL+"/inject", body, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("inject %v: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// The injections were journaled: a snapshot restores to this world.
+	var snap bytes.Buffer
+	srv.mu.RLock()
+	err := srv.net.WriteSnapshot(&snap)
+	srv.mu.RUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := selfstab.ReadSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != 41 {
+		t.Errorf("restored world has %d nodes, want 41", restored.N())
+	}
+	ra, _, _ := restored.Population()
+	oa, _, _ := srv.net.Population()
+	if ra != oa {
+		t.Errorf("restored alive %d, original %d", ra, oa)
+	}
+}
+
+func TestSpawnFlow(t *testing.T) {
+	srv, ts := testServer(t, 40, Config{})
+	ids := srv.net.IDs()
+	if err := srv.net.AttachTraffic(selfstab.TrafficConfig{
+		Flows: []selfstab.Flow{selfstab.CBRFlow(ids[0], ids[1], 0.5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var result struct {
+		Affected int `json:"affected"`
+	}
+	resp := postJSON(t, ts.URL+"/inject", map[string]any{
+		"kind": "spawn_flow",
+		"flow": map[string]any{"kind": "poisson", "src": ids[2], "dst": ids[3], "rate": 0.4},
+	}, &result)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spawn_flow: status %d", resp.StatusCode)
+	}
+	var stats struct {
+		Traffic selfstab.TrafficStats `json:"traffic"`
+	}
+	getJSON(t, ts.URL+"/stats/traffic", &stats)
+	if len(stats.Traffic.PerFlow) != 2 {
+		t.Errorf("after spawn_flow: %d flows, want 2", len(stats.Traffic.PerFlow))
+	}
+}
+
+func TestSnapshotEndpointAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := testServer(t, 30, Config{SnapshotDir: dir})
+
+	var result struct {
+		Path string `json:"path"`
+		Step int    `json:"step"`
+	}
+	resp := postJSON(t, ts.URL+"/snapshot", nil, &result)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: status %d", resp.StatusCode)
+	}
+	if filepath.Dir(result.Path) != dir {
+		t.Errorf("snapshot path %q not under %q", result.Path, dir)
+	}
+	raw, err := os.ReadFile(result.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := selfstab.ReadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != srv.net.N() || restored.StepCount() != srv.net.StepCount() {
+		t.Errorf("restored world N=%d step=%d, original N=%d step=%d",
+			restored.N(), restored.StepCount(), srv.net.N(), srv.net.StepCount())
+	}
+
+	// Streaming variant returns the document itself.
+	respStream, err := http.Post(ts.URL+"/snapshot?stream=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respStream.Body.Close()
+	if _, err := selfstab.ReadSnapshot(respStream.Body); err != nil {
+		t.Errorf("streamed snapshot does not restore: %v", err)
+	}
+}
+
+// TestRunStepsAndSSE boots the stepper, watches the world advance via
+// /events frames, and checks graceful drain (including the drain
+// snapshot).
+func TestRunStepsAndSSE(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := testServer(t, 30, Config{
+		StepsPerSecond: 200,
+		SnapshotDir:    dir,
+		DrainSnapshot:  true,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	deadline := time.After(10 * time.Second)
+	var first, last int
+	frames := 0
+	for frames < 3 {
+		lineCh := make(chan string, 1)
+		go func() {
+			if scanner.Scan() {
+				lineCh <- scanner.Text()
+			} else {
+				lineCh <- ""
+			}
+		}()
+		var line string
+		select {
+		case line = <-lineCh:
+		case <-deadline:
+			t.Fatal("timed out waiting for SSE frames")
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var frame struct {
+			Step int `json:"step"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &frame); err != nil {
+			t.Fatalf("bad frame %q: %v", line, err)
+		}
+		if frames == 0 {
+			first = frame.Step
+		}
+		last = frame.Step
+		frames++
+	}
+	if last <= first {
+		t.Errorf("world did not advance: first frame step %d, last %d", first, last)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not drain")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no drain snapshot written")
+	}
+	f, err := os.Open(filepath.Join(dir, entries[len(entries)-1].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := selfstab.ReadSnapshot(f); err != nil {
+		t.Errorf("drain snapshot does not restore: %v", err)
+	}
+}
+
+// TestConcurrentReadersWhileStepping is the serving layer's race
+// contract: a stepping world serves concurrent /state, /clusters,
+// /metrics and SSE readers plus injections without torn reads (run under
+// -race). The world size scales up when not in -short mode to cover the
+// 10k-node acceptance scenario.
+func TestConcurrentReadersWhileStepping(t *testing.T) {
+	nodes := 500
+	if !testing.Short() {
+		nodes = 10000
+	}
+	// No cold stabilization: the service stabilizes the world live, and
+	// pre-stabilizing 10k nodes under -race would dominate the test.
+	world, err := selfstab.NewRandomNetwork(nodes,
+		selfstab.WithSeed(7), selfstab.WithRange(0.02), selfstab.WithCacheTTL(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(world, Config{StepsPerSecond: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readLoop := func(path string) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				return // server shutting down
+			}
+			var sink bytes.Buffer
+			_, _ = sink.ReadFrom(resp.Body)
+			resp.Body.Close()
+		}
+	}
+	for _, path := range []string{"/state", "/state", "/clusters", "/metrics", "/healthz", "/stats/convergence"} {
+		wg.Add(1)
+		go readLoop(path)
+	}
+	// One SSE consumer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/events", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 4096)
+		for {
+			if _, err := resp.Body.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	// Injections race the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b, _ := json.Marshal(map[string]any{"kind": "churn_burst", "count": 2, "op": "crash"})
+			resp, err := http.Post(ts.URL+"/inject", "application/json", bytes.NewReader(b))
+			if err == nil {
+				resp.Body.Close()
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	cancel()
+	wg.Wait()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not drain")
+	}
+	if srv.net.StepCount() == 0 {
+		t.Error("world never stepped")
+	}
+}

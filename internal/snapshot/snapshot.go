@@ -1,0 +1,290 @@
+// Package snapshot defines the versioned, deterministic serialization
+// format behind Network.Snapshot and selfstab.Restore: a checkpoint of a
+// live simulation that can be written to disk, shipped to another
+// process, and replayed bit-identically.
+//
+// The format leans on the simulator's determinism contract instead of
+// dumping raw memory. A world's trajectory is a pure function of three
+// things: how it was constructed (the Blueprint — deployment shape plus
+// every construction option, seed included), which external mutations
+// were applied and when (the Ops journal — every public mutator call,
+// stamped with the step count at which it ran), and how many steps have
+// executed (Header.Step). Restoring therefore re-runs construction and
+// replays the journal through the same op-apply chokepoint the live
+// calls went through, which reconstructs every subsystem's private state
+// — engine nodes, frontier and tiles, the unit-disk grid, traffic queues
+// and ledgers, energy batteries, open churn episodes — exactly, because
+// the replay IS the original execution. Internal randomness (churn
+// schedules, lossy media, traffic workloads) needs no journaling: it is
+// drawn from split streams of the master seed and reproduces by itself.
+//
+// The encoding is JSON with a fixed field order (Go marshals struct
+// fields in declaration order), one document per snapshot, so snapshots
+// are diffable, greppable and stable enough for golden-file tests. The
+// header carries a magic string, the format version, the master seed and
+// the step count; Decode rejects unknown magics and versions before
+// touching the rest of the document, so format drift fails loudly
+// instead of replaying garbage.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Magic identifies a selfstab snapshot document.
+const Magic = "selfstab-snapshot"
+
+// Version is the current format version. Bump it when the meaning of an
+// existing field changes or a field replay depends on is added; Decode
+// refuses documents whose version differs so an old binary never
+// misreplays a new snapshot (or vice versa).
+const Version = 1
+
+// Deployment kinds: how the node positions were generated. They mirror
+// the public constructors one to one.
+const (
+	DeployExplicit = "explicit" // NewNetwork: positions listed in Points
+	DeployRandom   = "random"   // NewRandomNetwork: N uniform points
+	DeployPoisson  = "poisson"  // NewPoissonNetwork: Poisson(Intensity)
+	DeployHotspot  = "hotspot"  // NewHotspotNetwork: N points, Hotspots sites
+	DeployGrid     = "grid"     // NewGridNetwork: Rows x Cols lattice
+)
+
+// Op kinds: one per public world mutator. Every mutation a Network
+// accepts flows through one op-apply chokepoint that journals these, so
+// the op log is complete by construction.
+const (
+	OpFaults         = "inject_faults"
+	OpSetPositions   = "set_positions"
+	OpAddNodes       = "add_nodes"
+	OpRemoveNodes    = "remove_nodes"
+	OpCrashNodes     = "crash_nodes"
+	OpSleepNodes     = "sleep_nodes"
+	OpWakeNodes      = "wake_nodes"
+	OpAttachTraffic  = "attach_traffic"
+	OpDetachTraffic  = "detach_traffic"
+	OpAttachChurn    = "attach_churn"
+	OpDetachChurn    = "detach_churn"
+	OpAttachEnergy   = "attach_energy"
+	OpDetachEnergy   = "detach_energy"
+	OpCompact        = "compact"
+	OpSetAutoCompact = "set_auto_compact"
+)
+
+// Point is a node position in region coordinates. JSON round-trips Go
+// float64 values exactly (shortest representation that parses back to
+// the same bits), so positions — and every other float in the format —
+// survive encode/decode bit-identically.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Header opens every snapshot document.
+type Header struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	// Seed is the master seed the world was constructed with (duplicated
+	// from Blueprint.Options for at-a-glance inspection).
+	Seed int64 `json:"seed"`
+	// Step is the completed-step count at capture time: replay runs the
+	// journal and steps until StepCount reaches this.
+	Step int `json:"step"`
+}
+
+// Deployment records which constructor built the world and its
+// parameters. Only the fields of the named Kind are meaningful.
+type Deployment struct {
+	Kind      string  `json:"kind"`
+	N         int     `json:"n,omitempty"`         // random, hotspot
+	Intensity float64 `json:"intensity,omitempty"` // poisson
+	Hotspots  int     `json:"hotspots,omitempty"`  // hotspot
+	Spread    float64 `json:"spread,omitempty"`    // hotspot
+	Rows      int     `json:"rows,omitempty"`      // grid
+	Cols      int     `json:"cols,omitempty"`      // grid
+	Points    []Point `json:"points,omitempty"`    // explicit
+}
+
+// Options records every construction option, resolved (defaults filled
+// in). Together with Deployment this is the Blueprint: rebuilding with
+// the same options consumes the master seed's split streams in the same
+// order, so the restored world starts bit-identical to the original's
+// step zero.
+type Options struct {
+	Seed         int64   `json:"seed"`
+	Range        float64 `json:"range"`
+	DAG          bool    `json:"dag,omitempty"`
+	Gamma        int64   `json:"gamma,omitempty"`
+	Sticky       bool    `json:"sticky,omitempty"`
+	Fusion       bool    `json:"fusion,omitempty"`
+	Tau          float64 `json:"tau"`
+	Slots        int     `json:"slots,omitempty"`
+	CacheTTL     int     `json:"cache_ttl,omitempty"`
+	Activation   float64 `json:"activation"`
+	RowMajorIDs  bool    `json:"row_major_ids,omitempty"`
+	IDs          []int64 `json:"ids,omitempty"`
+	StableWindow int     `json:"stable_window"`
+	Tiles        int     `json:"tiles,omitempty"`
+}
+
+// Blueprint is the construction recipe: deployment plus options.
+type Blueprint struct {
+	Deploy  Deployment `json:"deploy"`
+	Options Options    `json:"options"`
+}
+
+// Flow is one traffic workload of an attach_traffic op, as given by the
+// caller (hotspot workloads are journaled unexpanded: expansion draws
+// from a split stream at apply time and reproduces on replay).
+type Flow struct {
+	Kind           string  `json:"kind"` // "cbr" or "poisson"
+	SrcID          int64   `json:"src"`
+	DstID          int64   `json:"dst"`
+	Rate           float64 `json:"rate"`
+	Start          int     `json:"start,omitempty"`
+	Stop           int     `json:"stop,omitempty"`
+	HotspotSources int     `json:"hotspot_sources,omitempty"`
+}
+
+// TrafficConfig mirrors selfstab.TrafficConfig for the journal.
+type TrafficConfig struct {
+	QueueCap   int    `json:"queue_cap,omitempty"`
+	Discipline string `json:"discipline,omitempty"` // "droptail" or "drophead"
+	Budget     int    `json:"budget,omitempty"`
+	TTL        int    `json:"ttl,omitempty"`
+	Flows      []Flow `json:"flows"`
+}
+
+// ChurnConfig mirrors selfstab.ChurnConfig for the journal.
+type ChurnConfig struct {
+	ArrivalRate   float64 `json:"arrival_rate,omitempty"`
+	DepartureRate float64 `json:"departure_rate,omitempty"`
+	CrashRate     float64 `json:"crash_rate,omitempty"`
+	SleepRate     float64 `json:"sleep_rate,omitempty"`
+	SleepSteps    int     `json:"sleep_steps,omitempty"`
+	MinAlive      int     `json:"min_alive,omitempty"`
+}
+
+// EnergyConfig mirrors selfstab.EnergyConfig for the journal.
+type EnergyConfig struct {
+	Capacity       float64 `json:"capacity,omitempty"`
+	IdleHeadCost   float64 `json:"idle_head_cost,omitempty"`
+	IdleMemberCost float64 `json:"idle_member_cost,omitempty"`
+	SleepCost      float64 `json:"sleep_cost,omitempty"`
+	TxCost         float64 `json:"tx_cost,omitempty"`
+	RxCost         float64 `json:"rx_cost,omitempty"`
+	Rotation       bool    `json:"rotation,omitempty"`
+	RotationLevels int     `json:"rotation_levels,omitempty"`
+}
+
+// Op is one journaled world mutation. Kind selects which payload fields
+// are meaningful; Step is the completed-step count at which the op was
+// applied (replay applies it after stepping to that count, before the
+// next step).
+type Op struct {
+	Step    int            `json:"step"`
+	Kind    string         `json:"kind"`
+	Frac    float64        `json:"frac,omitempty"`   // inject_faults, set_auto_compact
+	Points  []Point        `json:"points,omitempty"` // add_nodes, set_positions
+	IDs     []int64        `json:"ids,omitempty"`    // remove/crash/sleep/wake_nodes
+	Traffic *TrafficConfig `json:"traffic,omitempty"`
+	Churn   *ChurnConfig   `json:"churn,omitempty"`
+	Energy  *EnergyConfig  `json:"energy,omitempty"`
+}
+
+// Snapshot is one checkpoint document.
+type Snapshot struct {
+	Header    Header    `json:"header"`
+	Blueprint Blueprint `json:"blueprint"`
+	Ops       []Op      `json:"ops"`
+}
+
+// New stamps a snapshot with the current header fields.
+func New(bp Blueprint, ops []Op, step int) *Snapshot {
+	return &Snapshot{
+		Header:    Header{Magic: Magic, Version: Version, Seed: bp.Options.Seed, Step: step},
+		Blueprint: bp,
+		Ops:       ops,
+	}
+}
+
+// Encode writes the snapshot as one indented JSON document. The output
+// is deterministic: field order follows the struct declarations and
+// floats use Go's shortest round-trippable form, so identical snapshots
+// encode to identical bytes (the golden-file test pins this).
+func (s *Snapshot) Encode(w io.Writer) error {
+	if s.Header.Magic != Magic {
+		return fmt.Errorf("snapshot: refusing to encode header with magic %q", s.Header.Magic)
+	}
+	if s.Header.Version != Version {
+		return fmt.Errorf("snapshot: refusing to encode format version %d (this build writes %d)", s.Header.Version, Version)
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Decode parses one snapshot document, validating the header before
+// trusting the body: a wrong magic or a version mismatch is a clear
+// error naming both versions, never a silent misreplay.
+func Decode(r io.Reader) (*Snapshot, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read: %w", err)
+	}
+	// Peek at the header alone first so a future-versioned document with
+	// unknown body fields still produces the version error, not a parse
+	// error.
+	var head struct {
+		Header Header `json:"header"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		return nil, fmt.Errorf("snapshot: not a snapshot document: %w", err)
+	}
+	if head.Header.Magic != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q (want %q)", head.Header.Magic, Magic)
+	}
+	if head.Header.Version != Version {
+		return nil, fmt.Errorf("snapshot: format version %d not supported (this build reads version %d)", head.Header.Version, Version)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// validate applies the structural checks replay depends on.
+func (s *Snapshot) validate() error {
+	if s.Header.Step < 0 {
+		return fmt.Errorf("snapshot: negative step %d", s.Header.Step)
+	}
+	switch s.Blueprint.Deploy.Kind {
+	case DeployExplicit, DeployRandom, DeployPoisson, DeployHotspot, DeployGrid:
+	default:
+		return fmt.Errorf("snapshot: unknown deployment kind %q", s.Blueprint.Deploy.Kind)
+	}
+	prev := 0
+	for i, op := range s.Ops {
+		if op.Step < prev {
+			return fmt.Errorf("snapshot: op %d (%s) at step %d after an op at step %d — journal out of order", i, op.Kind, op.Step, prev)
+		}
+		if op.Step > s.Header.Step {
+			return fmt.Errorf("snapshot: op %d (%s) at step %d beyond the snapshot step %d", i, op.Kind, op.Step, s.Header.Step)
+		}
+		prev = op.Step
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"selfstab/internal/geom"
 	"selfstab/internal/metric"
 	"selfstab/internal/runtime"
+	"selfstab/internal/snapshot"
 	"selfstab/internal/viz"
 )
 
@@ -110,7 +111,9 @@ func (n *Network) InjectFaults(frac float64) {
 	if frac <= 0 {
 		return
 	}
-	n.engine.Corrupt(frac, runtime.CorruptAll, n.src.Split("faults"))
+	// Journaled (the corruption draw comes from a split stream, so replay
+	// reproduces it); the dispatch never fails for frac > 0.
+	_ = n.applyOp(snapshot.Op{Kind: snapshot.OpFaults, Frac: frac})
 }
 
 // NodeState is the externally visible protocol state of one node.
@@ -295,6 +298,11 @@ func (n *Network) operatingMask() []bool {
 // The Network's graph is updated in place. Combine with WithCacheTTL so
 // stale neighbors age out of caches.
 func (n *Network) SetPositions(positions []Point) error {
+	return n.applyOp(snapshot.Op{Kind: snapshot.OpSetPositions, Points: toSnapshotPoints(positions)})
+}
+
+// setPositionsImpl is the journaled implementation behind SetPositions.
+func (n *Network) setPositionsImpl(positions []snapshot.Point) error {
 	if len(positions) != len(n.pts) {
 		return fmt.Errorf("selfstab: %d positions for %d nodes", len(positions), len(n.pts))
 	}

@@ -1,0 +1,342 @@
+package selfstab
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// worldFingerprint collects everything observable about a world that the
+// snapshot contract promises to preserve: step count, population, every
+// node's protocol state, the clustering, and all three ledgers. Two
+// worlds with equal fingerprints are indistinguishable to any caller.
+type worldFingerprint struct {
+	StepCount   int
+	N           int
+	IDs         []int64
+	Positions   []Point
+	States      []NodeState
+	Clusters    []Cluster
+	Alive       int
+	Sleeping    int
+	Dead        int
+	Convergence ConvergenceStats
+	Traffic     *TrafficStats
+	Energy      *EnergyStats
+}
+
+func fingerprint(t *testing.T, n *Network) worldFingerprint {
+	t.Helper()
+	fp := worldFingerprint{
+		StepCount: n.StepCount(),
+		N:         n.N(),
+		IDs:       n.IDs(),
+		Positions: n.Positions(),
+		Clusters:  n.Clusters(),
+	}
+	fp.Alive, fp.Sleeping, fp.Dead = n.Population()
+	fp.States = make([]NodeState, n.N())
+	for i := range fp.States {
+		st, err := n.State(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp.States[i] = st
+	}
+	fp.Convergence = n.ConvergenceStats()
+	if ts, err := n.TrafficStats(); err == nil {
+		fp.Traffic = &ts
+	}
+	if es, err := n.EnergyStats(); err == nil {
+		fp.Energy = &es
+	}
+	return fp
+}
+
+func requireSameWorld(t *testing.T, label string, a, b worldFingerprint) {
+	t.Helper()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: worlds diverged\noriginal: %+v\nrestored: %+v", label, a, b)
+	}
+}
+
+// firstAliveIDs returns the first k alive node ids in index order — a
+// deterministic victim pick both worlds agree on.
+func firstAliveIDs(t *testing.T, n *Network, k int) []int64 {
+	t.Helper()
+	var out []int64
+	for i := 0; i < n.N() && len(out) < k; i++ {
+		st, err := n.State(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == NodeAlive {
+			out = append(out, st.ID)
+		}
+	}
+	if len(out) < k {
+		t.Fatalf("only %d alive nodes, need %d", len(out), k)
+	}
+	return out
+}
+
+// runMixedTrace drives a world through every mutation family the journal
+// carries: churn schedule, traffic, energy with rotation, manual
+// lifecycle calls, fault injection, mobility-free growth, and the
+// compaction knobs. Deterministic for a fixed seed by the repo's
+// determinism contract, so the same trace on a restored world must
+// reproduce it exactly.
+func runMixedTrace(t *testing.T, net *Network) {
+	t.Helper()
+	if err := net.AttachChurn(ChurnConfig{
+		ArrivalRate:   0.2,
+		DepartureRate: 0.15,
+		CrashRate:     0.15,
+		SleepRate:     0.1,
+		SleepSteps:    6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	ids := firstAliveIDs(t, net, 4)
+	if err := net.AttachTraffic(TrafficConfig{
+		QueueCap: 8,
+		Flows: []Flow{
+			CBRFlow(ids[0], ids[1], 0.6),
+			PoissonFlow(ids[1], ids[2], 0.4),
+			HotspotFlow(ids[3], 5, 0.2),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachEnergy(EnergyConfig{Rotation: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	net.InjectFaults(0.25)
+	if err := net.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddNodes([]Point{{X: 0.31, Y: 0.47}, {X: 0.72, Y: 0.18}}); err != nil {
+		t.Fatal(err)
+	}
+	ids = firstAliveIDs(t, net, 3)
+	if err := net.CrashNodes(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SleepNodes(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetAutoCompact(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.WakeNodes(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// continueTrace applies identical post-snapshot mutations to one world.
+// The victim ids are passed in (computed once from the original) so both
+// worlds receive byte-identical calls.
+func continueTrace(t *testing.T, net *Network, victims []int64) {
+	t.Helper()
+	if err := net.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RemoveNodes(victims[0]); err != nil {
+		t.Fatal(err)
+	}
+	net.InjectFaults(0.2)
+	if err := net.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	net.DetachChurn()
+	if err := net.Run(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotReplayOracle is the acceptance contract of the snapshot
+// subsystem: snapshot a world mid-run through a mixed churn + traffic +
+// energy + lifecycle trace, restore it, and (a) the restored world is
+// bit-identical to the original at the snapshot step, (b) continuing
+// BOTH worlds with the same op sequence keeps them bit-identical —
+// protocol state, clustering, and all three ledgers — and (c) the
+// restored world's own next snapshot is byte-identical to the
+// original's, so checkpoints chain. Exercised at 1 and 4 workers, flat
+// and tiled (results must also be identical across those variants per
+// the repo's determinism contract, which restore leans on).
+func TestSnapshotReplayOracle(t *testing.T) {
+	variants := []struct {
+		name    string
+		workers int
+		tiles   int
+	}{
+		{"1worker_flat", 1, 1},
+		{"4workers_flat", 4, 1},
+		{"1worker_4tiles", 1, 4},
+		{"4workers_4tiles", 4, 4},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			net := churnNet(t, 80, 20260808, WithTiles(v.tiles))
+			net.SetParallelism(v.workers)
+			runMixedTrace(t, net)
+
+			var snap bytes.Buffer
+			if err := net.WriteSnapshot(&snap); err != nil {
+				t.Fatal(err)
+			}
+			// WriteSnapshot is deterministic and read-only: a second write
+			// must produce the same bytes.
+			var again bytes.Buffer
+			if err := net.WriteSnapshot(&again); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(snap.Bytes(), again.Bytes()) {
+				t.Fatal("two WriteSnapshot calls on an unchanged world differ")
+			}
+
+			restored, err := ReadSnapshot(bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored.SetParallelism(v.workers)
+			requireSameWorld(t, "at snapshot step",
+				fingerprint(t, net), fingerprint(t, restored))
+
+			// The restored world re-journaled the replay, so its own
+			// checkpoint must equal the original's byte for byte.
+			var resnap bytes.Buffer
+			if err := restored.WriteSnapshot(&resnap); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(snap.Bytes(), resnap.Bytes()) {
+				t.Fatalf("restored world's snapshot differs from the original's:\noriginal:\n%s\nrestored:\n%s",
+					snap.String(), resnap.String())
+			}
+
+			victims := firstAliveIDs(t, net, 2)
+			continueTrace(t, net, victims)
+			continueTrace(t, restored, victims)
+			requireSameWorld(t, "after continuing both worlds",
+				fingerprint(t, net), fingerprint(t, restored))
+		})
+	}
+}
+
+// TestSnapshotRoundTripEveryConstructor pins that each deployment kind's
+// blueprint restores through the same construction path: a fresh
+// snapshot of an unstepped world restores to the same positions, ids and
+// states.
+func TestSnapshotRoundTripEveryConstructor(t *testing.T) {
+	builds := []struct {
+		name  string
+		build func() (*Network, error)
+	}{
+		{"explicit", func() (*Network, error) {
+			return NewNetwork([]Point{{0.2, 0.2}, {0.25, 0.22}, {0.8, 0.8}}, WithSeed(5))
+		}},
+		{"random", func() (*Network, error) {
+			return NewRandomNetwork(40, WithSeed(5), WithDAG(1 << 16))
+		}},
+		{"poisson", func() (*Network, error) {
+			return NewPoissonNetwork(60, WithSeed(5), WithStickyHeads())
+		}},
+		{"hotspot", func() (*Network, error) {
+			return NewHotspotNetwork(40, 3, 0.05, WithSeed(5))
+		}},
+		{"grid", func() (*Network, error) {
+			return NewGridNetwork(6, 6, WithSeed(5), WithRowMajorIDs())
+		}},
+	}
+	for _, b := range builds {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			net, err := b.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := net.Run(12); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := net.WriteSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := ReadSnapshot(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameWorld(t, b.name, fingerprint(t, net), fingerprint(t, restored))
+		})
+	}
+}
+
+// TestSnapshotRejectsGarbage: the public entry point surfaces the format
+// layer's validation.
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	net, err := NewRandomNetwork(10, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(buf.String(), `"version": 1`, `"version": 7`, 1)
+	if _, err := ReadSnapshot(strings.NewReader(tampered)); err == nil {
+		t.Fatal("version-tampered snapshot accepted")
+	} else if !strings.Contains(err.Error(), "version 7") {
+		t.Fatalf("error %q does not name the offending version", err)
+	}
+}
+
+// TestFailedOpsAreNotJournaled: an op that errors mutates nothing and
+// leaves no journal entry, so a snapshot after a failed call replays
+// cleanly.
+func TestFailedOpsAreNotJournaled(t *testing.T) {
+	net := churnNet(t, 30, 99)
+	before := fingerprint(t, net)
+	if err := net.RemoveNodes(123456); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	ids := firstAliveIDs(t, net, 2)
+	// Second id is unknown: the whole call must fail before the first
+	// node mutates.
+	if err := net.CrashNodes(ids[0], 123456); err == nil {
+		t.Fatal("half-applicable call accepted")
+	}
+	if err := net.WakeNodes(ids[1]); err == nil {
+		t.Fatal("waking an alive node accepted")
+	}
+	requireSameWorld(t, "after failed ops", before, fingerprint(t, net))
+	var buf bytes.Buffer
+	if err := net.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameWorld(t, "restored after failed ops", before, fingerprint(t, restored))
+}

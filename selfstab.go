@@ -51,6 +51,18 @@
 // paper's Section 6 future work running live, with Verify checking the
 // correspondingly weighted oracle.
 //
+// A world is checkpointable: every public mutation flows through a
+// single op-apply chokepoint and is journaled, so WriteSnapshot emits a
+// versioned document (internal/snapshot) — the construction blueprint
+// (deployment + options, seed included) plus the step-stamped op journal
+// — and ReadSnapshot rebuilds through the same constructor path,
+// replaying the journal interleaved with stepping, to a bit-identical
+// world: states, clusters and every ledger, at any worker count, flat or
+// tiled. Internal randomness (churn schedules, traffic workloads)
+// reproduces from the seed's split streams and is not journaled. The
+// internal/serve package runs a Network as a long-lived service stepping
+// in scaled real time behind an HTTP/JSON API (selfstab-sim serve).
+//
 // Minimal use:
 //
 //	net, err := selfstab.NewPoissonNetwork(1000, selfstab.WithRange(0.1))
@@ -227,6 +239,7 @@ import (
 	"selfstab/internal/rng"
 	"selfstab/internal/routing"
 	"selfstab/internal/runtime"
+	"selfstab/internal/snapshot"
 	"selfstab/internal/topology"
 	"selfstab/internal/traffic"
 )
@@ -479,6 +492,14 @@ type Network struct {
 	churnAttached bool        // schedule currently driving the pre-step phase
 	autoCompact   float64     // dead-slot fraction that triggers Compact (0: never)
 	workers       int         // SetParallelism setting, replayed onto late-attached subsystems
+
+	// Snapshot support: the construction blueprint and the journal of
+	// every world mutation (see journal.go). Together with the step count
+	// they are the whole checkpoint — WriteSnapshot serializes exactly
+	// these, and ReadSnapshot replays them.
+	bp          snapshot.Blueprint
+	oplog       []snapshot.Op
+	lastTraffic *TrafficConfig // config of the last AttachTraffic, for online flow spawning
 }
 
 // flowEndpointIDs is one attached flow's endpoints by identifier.
@@ -491,15 +512,11 @@ func NewNetwork(positions []Point, opts ...Option) (*Network, error) {
 	if len(positions) == 0 {
 		return nil, errors.New("selfstab: no positions")
 	}
-	pts := make([]geom.Point, len(positions))
-	region := geom.UnitSquare()
-	for i, p := range positions {
-		pts[i] = geom.Point{X: p.X, Y: p.Y}
-		if !region.Contains(pts[i]) {
-			return nil, fmt.Errorf("selfstab: position %d (%v, %v) outside the unit square", i, p.X, p.Y)
-		}
+	cfg, err := apply(opts)
+	if err != nil {
+		return nil, err
 	}
-	return build(pts, opts)
+	return construct(snapshot.Deployment{Kind: snapshot.DeployExplicit, Points: toSnapshotPoints(positions)}, cfg)
 }
 
 // NewRandomNetwork deploys exactly n uniformly random nodes.
@@ -511,9 +528,7 @@ func NewRandomNetwork(n int, opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := rng.New(cfg.seed)
-	dep := deploy.Uniform(n, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy"))
-	return buildWith(cfg, dep.Points, src)
+	return construct(snapshot.Deployment{Kind: snapshot.DeployRandom, N: n}, cfg)
 }
 
 // NewPoissonNetwork deploys a Poisson point process of the given intensity
@@ -526,12 +541,7 @@ func NewPoissonNetwork(intensity float64, opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := rng.New(cfg.seed)
-	dep := deploy.Poisson(intensity, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy"))
-	for dep.N() == 0 {
-		dep = deploy.Poisson(intensity, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy-retry"))
-	}
-	return buildWith(cfg, dep.Points, src)
+	return construct(snapshot.Deployment{Kind: snapshot.DeployPoisson, Intensity: intensity}, cfg)
 }
 
 // NewHotspotNetwork deploys n nodes concentrated around k random hotspots
@@ -544,12 +554,7 @@ func NewHotspotNetwork(n, k int, spread float64, opts ...Option) (*Network, erro
 	if err != nil {
 		return nil, err
 	}
-	src := rng.New(cfg.seed)
-	dep, err := deploy.Hotspots(n, k, spread, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy"))
-	if err != nil {
-		return nil, err
-	}
-	return buildWith(cfg, dep.Points, src)
+	return construct(snapshot.Deployment{Kind: snapshot.DeployHotspot, N: n, Hotspots: k, Spread: spread}, cfg)
 }
 
 // NewGridNetwork deploys a rows x cols lattice (the paper's grid scenario;
@@ -562,9 +567,7 @@ func NewGridNetwork(rows, cols int, opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := rng.New(cfg.seed)
-	dep := deploy.Grid(rows, cols, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy"))
-	return buildWith(cfg, dep.Points, src)
+	return construct(snapshot.Deployment{Kind: snapshot.DeployGrid, Rows: rows, Cols: cols}, cfg)
 }
 
 func apply(opts []Option) (config, error) {
@@ -577,12 +580,83 @@ func apply(opts []Option) (config, error) {
 	return cfg, nil
 }
 
-func build(pts []geom.Point, opts []Option) (*Network, error) {
-	cfg, err := apply(opts)
+// construct is the single construction path, shared by the public
+// constructors and snapshot restore. It realizes the deployment from the
+// descriptor, consuming the master seed's split streams in a fixed order,
+// so rebuilding from a snapshot blueprint lands on exactly the world the
+// original constructor produced — including every per-node rng stream.
+func construct(dep snapshot.Deployment, cfg config) (*Network, error) {
+	src := rng.New(cfg.seed)
+	var pts []geom.Point
+	switch dep.Kind {
+	case snapshot.DeployExplicit:
+		region := geom.UnitSquare()
+		pts = make([]geom.Point, len(dep.Points))
+		for i, p := range dep.Points {
+			pts[i] = geom.Point{X: p.X, Y: p.Y}
+			if !region.Contains(pts[i]) {
+				return nil, fmt.Errorf("selfstab: position %d (%v, %v) outside the unit square", i, p.X, p.Y)
+			}
+		}
+	case snapshot.DeployRandom:
+		if dep.N < 1 {
+			return nil, fmt.Errorf("selfstab: need at least one node, got %d", dep.N)
+		}
+		pts = deploy.Uniform(dep.N, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy")).Points
+	case snapshot.DeployPoisson:
+		if dep.Intensity <= 0 {
+			return nil, fmt.Errorf("selfstab: intensity must be positive, got %v", dep.Intensity)
+		}
+		d := deploy.Poisson(dep.Intensity, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy"))
+		for d.N() == 0 {
+			d = deploy.Poisson(dep.Intensity, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy-retry"))
+		}
+		pts = d.Points
+	case snapshot.DeployHotspot:
+		d, err := deploy.Hotspots(dep.N, dep.Hotspots, dep.Spread, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy"))
+		if err != nil {
+			return nil, err
+		}
+		pts = d.Points
+	case snapshot.DeployGrid:
+		if dep.Rows < 1 || dep.Cols < 1 {
+			return nil, fmt.Errorf("selfstab: invalid grid %dx%d", dep.Rows, dep.Cols)
+		}
+		pts = deploy.Grid(dep.Rows, dep.Cols, geom.UnitSquare(), deploy.IDSequential, src.Split("deploy")).Points
+	default:
+		return nil, fmt.Errorf("selfstab: unknown deployment kind %q", dep.Kind)
+	}
+	n, err := buildWith(cfg, pts, src)
 	if err != nil {
 		return nil, err
 	}
-	return buildWith(cfg, pts, rng.New(cfg.seed))
+	if dep.Points != nil {
+		dep.Points = append([]snapshot.Point(nil), dep.Points...)
+	}
+	n.bp = snapshot.Blueprint{Deploy: dep, Options: optionsFromConfig(cfg)}
+	return n, nil
+}
+
+// optionsFromConfig records the resolved construction options for the
+// snapshot blueprint; configFromOptions inverts it on restore. The pair
+// must stay exact — any option that changes the trajectory and escapes
+// this round trip breaks replay.
+func optionsFromConfig(c config) snapshot.Options {
+	return snapshot.Options{
+		Seed: c.seed, Range: c.radioRng, DAG: c.useDag, Gamma: c.gamma,
+		Sticky: c.sticky, Fusion: c.fusion, Tau: c.tau, Slots: c.slots,
+		CacheTTL: c.cacheTTL, Activation: c.activation, RowMajorIDs: c.rowMajor,
+		IDs: c.idsCustom, StableWindow: c.stableWindow, Tiles: c.tiles,
+	}
+}
+
+func configFromOptions(o snapshot.Options) config {
+	return config{
+		seed: o.Seed, radioRng: o.Range, useDag: o.DAG, gamma: o.Gamma,
+		sticky: o.Sticky, fusion: o.Fusion, tau: o.Tau, slots: o.Slots,
+		cacheTTL: o.CacheTTL, activation: o.Activation, rowMajor: o.RowMajorIDs,
+		idsCustom: o.IDs, stableWindow: o.StableWindow, tiles: o.Tiles,
+	}
 }
 
 func buildWith(cfg config, pts []geom.Point, src *rng.Source) (*Network, error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"selfstab/internal/runtime"
+	"selfstab/internal/snapshot"
 	"selfstab/internal/traffic"
 )
 
@@ -89,6 +90,22 @@ type TrafficConfig struct {
 // Attaching replaces any previously attached data plane and resets its
 // statistics.
 func (n *Network) AttachTraffic(cfg TrafficConfig) error {
+	sc, err := trafficToSnapshot(cfg)
+	if err != nil {
+		return err
+	}
+	return n.applyOp(snapshot.Op{Kind: snapshot.OpAttachTraffic, Traffic: &sc})
+}
+
+// attachTrafficImpl is the journaled implementation behind AttachTraffic.
+// Hotspot flows are journaled unexpanded: expansion draws from the
+// "traffic-flows" split stream here, at apply time, and reproduces on
+// replay.
+func (n *Network) attachTrafficImpl(sc snapshot.TrafficConfig) error {
+	cfg, err := trafficFromSnapshot(sc)
+	if err != nil {
+		return err
+	}
 	specs, err := n.expandFlows(cfg.Flows)
 	if err != nil {
 		return err
@@ -144,6 +161,9 @@ func (n *Network) AttachTraffic(cfg TrafficConfig) error {
 	}
 	n.traffic = t
 	n.trafficOn = true
+	cfgCopy := cfg
+	cfgCopy.Flows = append([]Flow(nil), cfg.Flows...)
+	n.lastTraffic = &cfgCopy
 	n.installStepPhases()
 	return nil
 }
@@ -152,8 +172,21 @@ func (n *Network) AttachTraffic(cfg TrafficConfig) error {
 // (and any attached energy model) only. The final statistics remain
 // readable via TrafficStats until the next AttachTraffic.
 func (n *Network) DetachTraffic() {
-	n.trafficOn = false
-	n.installStepPhases()
+	_ = n.applyOp(snapshot.Op{Kind: snapshot.OpDetachTraffic})
+}
+
+// TrafficConfig returns a copy of the config of the last AttachTraffic
+// call and whether traffic is currently attached and running. The serving
+// layer uses it to spawn additional flows online: append to Flows and
+// re-attach (which resets the traffic ledger — see the README's serving
+// section).
+func (n *Network) TrafficConfig() (TrafficConfig, bool) {
+	if n.lastTraffic == nil {
+		return TrafficConfig{}, false
+	}
+	out := *n.lastTraffic
+	out.Flows = append([]Flow(nil), n.lastTraffic.Flows...)
+	return out, n.trafficOn
 }
 
 // expandFlows resolves identifiers to indices and expands hotspot
