@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"strings"
 	"text/tabwriter"
 
 	"selfstab"
+	"selfstab/internal/rng"
 )
 
 // runTraffic drives the packet-level traffic subsystem from the command
@@ -106,7 +106,10 @@ func buildWorkload(net *selfstab.Network, workload string, flows int, rate float
 	if len(ids) < 2 {
 		return nil, fmt.Errorf("need at least 2 nodes for traffic")
 	}
-	r := rand.New(rand.NewSource(seed))
+	// One labeled stream off the master seed: adding draws to another
+	// subsystem (say, the mobility walk below) can never perturb the
+	// workload, which keeps every scenario reproducible from -seed alone.
+	r := rng.New(seed).Split("workload")
 	pair := func() (int64, int64) {
 		src := ids[r.Intn(len(ids))]
 		dst := ids[r.Intn(len(ids))]
@@ -159,7 +162,7 @@ func runMobilityScenario(net *selfstab.Network, steps int, seed int64) error {
 		burst    = 10    // protocol steps between motion samples
 		stepSize = 0.004 // region units moved per sample
 	)
-	r := rand.New(rand.NewSource(seed + 1))
+	r := rng.New(seed).Split("mobility-walk")
 	pos := net.Positions()
 	dir := make([]float64, len(pos))
 	for i := range dir {

@@ -37,6 +37,8 @@ func (n *Network) Compact() (removed int, err error) {
 // what the auto-compaction threshold calls directly: a triggered
 // compaction is a deterministic consequence of the journaled
 // SetAutoCompact op, so journaling it too would compact twice on replay.
+//
+//selfstab:unjournaled auto-compaction replays as a deterministic consequence of the SetAutoCompact op; journaling it too would compact twice
 func (n *Network) compactImpl() (removed int, err error) {
 	remap, newN := n.engine.CompactionRemap()
 	if remap == nil {

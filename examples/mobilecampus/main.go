@@ -9,9 +9,9 @@ import (
 	"fmt"
 	"log"
 	"math"
-	"math/rand"
 
 	"selfstab"
+	"selfstab/internal/rng"
 )
 
 const (
@@ -58,13 +58,14 @@ func headRetention(improvements bool) float64 {
 		log.Fatal(err)
 	}
 
-	// A tiny random-walk model over the public API: same seed for both
-	// variants, so they see the same motion.
-	rng := rand.New(rand.NewSource(walkSeed))
+	// A tiny random-walk model over the public API: one labeled stream
+	// off the shared seed, so both protocol variants see the same motion
+	// and the walk never perturbs the network's own draws.
+	walk := rng.New(walkSeed).Split("campus-walk")
 	pos := net.Positions()
 	dir := make([]float64, nodes)
 	for i := range dir {
-		dir[i] = rng.Float64() * 2 * math.Pi
+		dir[i] = walk.Float64() * 2 * math.Pi
 	}
 
 	retention := 0.0
@@ -74,8 +75,8 @@ func headRetention(improvements bool) float64 {
 		// Move everyone for dtSeconds.
 		step := speedMS / metersPerU * dtSeconds
 		for i := range pos {
-			if rng.Float64() < 0.1 {
-				dir[i] = rng.Float64() * 2 * math.Pi
+			if walk.Float64() < 0.1 {
+				dir[i] = walk.Float64() * 2 * math.Pi
 			}
 			pos[i].X = reflect01(pos[i].X + step*math.Cos(dir[i]))
 			pos[i].Y = reflect01(pos[i].Y + step*math.Sin(dir[i]))
@@ -89,6 +90,7 @@ func headRetention(improvements bool) float64 {
 		heads := headSet(net)
 		if len(prevHeads) > 0 {
 			kept := 0
+			//selfstab:orderinvariant counting set intersection; kept is order-independent
 			for h := range prevHeads {
 				if heads[h] {
 					kept++

@@ -19,9 +19,9 @@ import (
 	"fmt"
 	"log"
 	"math"
-	"math/rand"
 
 	"selfstab"
+	"selfstab/internal/rng"
 )
 
 const (
@@ -94,7 +94,7 @@ func runScenario(name string, drive func(*selfstab.Network) error) {
 // workload is the standard 110-flow mix, deterministic given the seed.
 func workload(net *selfstab.Network) []selfstab.Flow {
 	ids := net.IDs()
-	r := rand.New(rand.NewSource(seed))
+	r := rng.New(seed).Split("workload")
 	pair := func() (int64, int64) {
 		src := ids[r.Intn(len(ids))]
 		dst := ids[r.Intn(len(ids))]
@@ -123,7 +123,7 @@ func randomWalk(net *selfstab.Network, total int) error {
 		burst    = 10
 		stepSize = 0.003
 	)
-	r := rand.New(rand.NewSource(seed + 1))
+	r := rng.New(seed).Split("storm-walk")
 	pos := net.Positions()
 	dir := make([]float64, len(pos))
 	for i := range dir {

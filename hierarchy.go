@@ -105,6 +105,7 @@ func (n *Network) BuildHierarchy(maxLevels int) ([]HierarchyLevel, error) {
 			byHead[hid] = append(byHead[hid], ids[l.NodeOf[vi]])
 		}
 		var level HierarchyLevel
+		//selfstab:orderinvariant every cluster is emitted exactly once and the trailing sorts canonicalize the order
 		for hid, ms := range byHead {
 			sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
 			level.Clusters = append(level.Clusters, Cluster{HeadID: hid, Members: ms})

@@ -1,0 +1,91 @@
+package analyze
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureDir is the nested module holding the analyzer fixtures. Being
+// its own module keeps the deliberate violations out of the repo's
+// build, test and lint sweeps: `./...` from the repo root never
+// descends into it.
+const fixtureDir = "testdata/src"
+
+// wantRe extracts the backquoted regexps of a `// want` comment.
+var wantRe = regexp.MustCompile("`([^`]+)`")
+
+// expectation is one parsed want: a diagnostic matching re must be
+// reported on exactly this file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// loadFixture loads fixture packages from the nested testdata module.
+func loadFixture(t *testing.T, patterns ...string) []*Package {
+	t.Helper()
+	pkgs, err := Load(fixtureDir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", patterns)
+	}
+	return pkgs
+}
+
+// checkDiagnostics runs the analyzers over pkgs and compares findings
+// against the fixtures' `// want` comments, analysistest style: every
+// diagnostic must match a want regexp on its own line, and every want
+// must be matched by some diagnostic.
+func checkDiagnostics(t *testing.T, pkgs []*Package, analyzers ...*Analyzer) {
+	t.Helper()
+	diags, err := Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", p, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

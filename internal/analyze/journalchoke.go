@@ -1,0 +1,357 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// JournalChokeConfig parameterizes the journalchoke analyzer;
+// production code uses DefaultJournalChokeConfig.
+type JournalChokeConfig struct {
+	// PkgPath is the package holding the journaled world type.
+	PkgPath string
+	// TypeName is the world type whose exported methods are checked.
+	TypeName string
+	// Choke names the journaling chokepoint method: a method of
+	// TypeName whose subtree is, by construction, where journaled
+	// mutation happens. Reaching a mutation through it is legal;
+	// reaching a mutation around it is the bug.
+	Choke string
+}
+
+// DefaultJournalChokeConfig pins this repo's snapshot/replay contract:
+// every exported (*selfstab.Network) mutator routes through applyOp.
+func DefaultJournalChokeConfig() JournalChokeConfig {
+	return JournalChokeConfig{PkgPath: "selfstab", TypeName: "Network", Choke: "applyOp"}
+}
+
+// mutatorFactKey is the package-fact name under which journalchoke
+// exports the set of //selfstab:mutator-annotated methods.
+const mutatorFactKey = "mutators"
+
+// NewJournalChoke returns the journal-chokepoint analyzer for cfg.
+//
+// The snapshot/replay contract (journal.go) holds only if the op
+// journal is complete: every exported method of the world type that
+// changes the world's trajectory must dispatch through the chokepoint,
+// where the op is validated and recorded. The analyzer enforces this
+// with call-graph reachability:
+//
+//  1. Engine packages annotate their trajectory-changing entry points
+//     //selfstab:mutator; journalchoke exports them as package facts.
+//  2. For each exported method on the world type it walks the static
+//     intra-package call graph, NOT descending into the chokepoint
+//     (whose subtree is journaled by construction).
+//  3. If the walk reaches a marked mutator call, or a store to a field
+//     of the world type not annotated //selfstab:cache, the method is
+//     mutating the world outside the journal — a diagnostic, unless
+//     the method is annotated //selfstab:unjournaled <why> (the escape
+//     for performance knobs, which replay reproduces without ops).
+//
+// A method of the world type annotated //selfstab:unjournaled is a
+// vetted subtree: the walk does not descend into it, exactly like the
+// chokepoint. That is how deliberately-unjournaled interior helpers
+// (auto-compaction, which replay reproduces as a deterministic
+// consequence of journaled ops) stay out of every caller's report
+// without suppressing the callers themselves.
+func NewJournalChoke(cfg JournalChokeConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "journalchoke",
+		Doc: "require every exported mutating method of the journaled world type to " +
+			"dispatch through the journal chokepoint, so snapshot replay stays complete " +
+			"by construction.",
+	}
+	a.Run = func(pass *Pass) error {
+		anns := scanAnnotations(pass)
+
+		// Phase 1 (every package): export the set of mutator-annotated
+		// methods as a fact for importing packages.
+		local := map[string]bool{}
+		forEachFuncDecl(pass, func(decl *ast.FuncDecl, fn *types.Func) {
+			if anns.fn(decl, "mutator") != nil {
+				local[fn.FullName()] = true
+			}
+		})
+		if len(local) > 0 {
+			pass.ExportPackageFact(mutatorFactKey, local)
+		}
+		if pass.Pkg.Path() != cfg.PkgPath {
+			return nil
+		}
+
+		// Phase 2 (the world package): gather mutator facts from the
+		// transitive imports, plus any local annotations.
+		mutators := map[string]bool{}
+		for k := range local {
+			mutators[k] = true
+		}
+		seen := map[string]bool{}
+		var walk func(p *types.Package)
+		walk = func(p *types.Package) {
+			if seen[p.Path()] {
+				return
+			}
+			seen[p.Path()] = true
+			if f, ok := pass.ImportPackageFact(p.Path(), mutatorFactKey).(map[string]bool); ok {
+				for k := range f {
+					mutators[k] = true
+				}
+			}
+			for _, imp := range p.Imports() {
+				walk(imp)
+			}
+		}
+		walk(pass.Pkg)
+
+		world := lookupNamedType(pass.Pkg, cfg.TypeName)
+		if world == nil {
+			return fmt.Errorf("journalchoke: type %s.%s not found", cfg.PkgPath, cfg.TypeName)
+		}
+
+		// Build per-function summaries: static callees plus mutation
+		// sites (mutator references and world-field stores).
+		cacheSet := cacheFields(pass, anns, world)
+		sums := map[*types.Func]*funcSummary{}
+		exempt := map[*types.Func]bool{}
+		var chokeFn *types.Func
+		forEachFuncDecl(pass, func(decl *ast.FuncDecl, fn *types.Func) {
+			s := summarize(pass, decl, world, mutators, cacheSet)
+			sums[fn] = s
+			if anns.fn(decl, "unjournaled") != nil {
+				exempt[fn] = true
+			}
+			if fn.Name() == cfg.Choke && receiverIs(fn, world) {
+				chokeFn = fn
+			}
+		})
+		if chokeFn == nil {
+			pass.Reportf(pass.Files[0].Pos(), "journal chokepoint (*%s).%s not found: the snapshot/replay contract has no enforcement point (renamed without updating the lint config?)", cfg.TypeName, cfg.Choke)
+			return nil
+		}
+
+		// Phase 3: check each exported method of the world type.
+		forEachFuncDecl(pass, func(decl *ast.FuncDecl, fn *types.Func) {
+			if !fn.Exported() || !receiverIs(fn, world) || fn == chokeFn {
+				return
+			}
+			if exempt[fn] {
+				return
+			}
+			if site := findUnjournaledMutation(fn, chokeFn, exempt, sums); site != nil {
+				pass.Reportf(decl.Name.Pos(),
+					"exported method (*%s).%s mutates world state without the %s journal chokepoint (%s); route the mutation through %s or annotate //selfstab:unjournaled <why>",
+					cfg.TypeName, fn.Name(), cfg.Choke, site.desc, cfg.Choke)
+			}
+		})
+		return nil
+	}
+	return a
+}
+
+// mutationSite describes one place a function changes world state.
+type mutationSite struct {
+	desc string
+}
+
+type funcSummary struct {
+	callees   []*types.Func
+	mutations []mutationSite
+}
+
+// summarize walks one function body collecting static callees and
+// mutation sites. Calls inside closures are attributed to the enclosing
+// declaration — conservative and order-safe, since the closure can run
+// whenever the method does.
+func summarize(pass *Pass, decl *ast.FuncDecl, world *types.Named, mutators map[string]bool, cacheSet map[string]bool) *funcSummary {
+	s := &funcSummary{}
+	if decl.Body == nil {
+		return s
+	}
+	calleeSet := map[*types.Func]bool{}
+	record := func(fn *types.Func, pos ast.Node) {
+		if fn == nil {
+			return
+		}
+		if mutators[fn.FullName()] {
+			s.mutations = append(s.mutations, mutationSite{desc: "call to " + fn.FullName() + " at " + pass.Fset.Position(pos.Pos()).String()})
+		}
+		if fn.Pkg() == pass.Pkg && !calleeSet[fn] {
+			calleeSet[fn] = true
+			s.callees = append(s.callees, fn)
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if fn, ok := pass.Info.Uses[n].(*types.Func); ok {
+				record(fn, n)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[n]; ok {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					record(fn, n)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if site := worldStore(pass, lhs, world, cacheSet); site != nil {
+					s.mutations = append(s.mutations, *site)
+				}
+			}
+		case *ast.IncDecStmt:
+			if site := worldStore(pass, n.X, world, cacheSet); site != nil {
+				s.mutations = append(s.mutations, *site)
+			}
+		}
+		return true
+	})
+	// Deterministic summaries: report the first site in source order.
+	sort.SliceStable(s.mutations, func(i, j int) bool { return s.mutations[i].desc < s.mutations[j].desc })
+	return s
+}
+
+// worldStore reports whether lhs writes through a value of the world
+// type (a selector or index chain rooted at a *World/World variable),
+// excluding stores whose first field hop is annotated //selfstab:cache.
+func worldStore(pass *Pass, lhs ast.Expr, world *types.Named, cacheSet map[string]bool) *mutationSite {
+	firstField := ""
+	expr := lhs
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			firstField = e.Sel.Name
+			expr = e.X
+		case *ast.Ident:
+			t := pass.Info.Types[e].Type
+			if t == nil {
+				if obj := pass.Info.Uses[e]; obj != nil {
+					t = obj.Type()
+				}
+			}
+			if t == nil || firstField == "" {
+				return nil
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); !ok || named.Obj() != world.Obj() {
+				return nil
+			}
+			if cacheSet[firstField] {
+				return nil
+			}
+			return &mutationSite{desc: "store to " + world.Obj().Name() + "." + firstField + " at " + pass.Fset.Position(lhs.Pos()).String()}
+		default:
+			return nil
+		}
+	}
+}
+
+// cacheFields returns the set of world-struct field names annotated
+// //selfstab:cache.
+func cacheFields(pass *Pass, anns *annotations, world *types.Named) map[string]bool {
+	m := map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != world.Obj().Name() {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if anns.field(field, "cache") != nil {
+					for _, name := range field.Names {
+						m[name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return m
+}
+
+// findUnjournaledMutation walks the call graph from fn, never entering
+// the chokepoint or an //selfstab:unjournaled-vetted method, and returns
+// the first mutation site reached (BFS in deterministic order), or nil.
+func findUnjournaledMutation(fn, choke *types.Func, exempt map[*types.Func]bool, sums map[*types.Func]*funcSummary) *mutationSite {
+	visited := map[*types.Func]bool{fn: true}
+	queue := []*types.Func{fn}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		s := sums[cur]
+		if s == nil {
+			continue
+		}
+		if len(s.mutations) > 0 {
+			site := s.mutations[0]
+			if cur != fn {
+				site.desc = "via " + cur.Name() + ": " + site.desc
+			}
+			return &site
+		}
+		for _, callee := range s.callees {
+			if callee == choke || exempt[callee] || visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			queue = append(queue, callee)
+		}
+	}
+	return nil
+}
+
+// forEachFuncDecl invokes fn for every declared function or method in
+// the package, in file order.
+func forEachFuncDecl(pass *Pass, fn func(*ast.FuncDecl, *types.Func)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fn(fd, obj)
+		}
+	}
+}
+
+// lookupNamedType resolves a named type declared in pkg.
+func lookupNamedType(pkg *types.Package, name string) *types.Named {
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	named, _ := obj.Type().(*types.Named)
+	return named
+}
+
+// receiverIs reports whether fn is a method with receiver type named
+// (or pointer to it).
+func receiverIs(fn *types.Func, named *types.Named) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == named.Obj()
+}

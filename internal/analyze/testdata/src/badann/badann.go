@@ -1,0 +1,47 @@
+// Package badann holds deliberately malformed or misplaced selfstab
+// annotations; the scanner must report every one of them, because an
+// annotation that does not parse is an invariant that silently stopped
+// being enforced.
+package badann
+
+// selfstab:hotpath
+func SpacedOut() {}
+
+//selfstab:
+func MissingVerb() {}
+
+//selfstab:frobnicate
+func UnknownVerb() {}
+
+//selfstab:hotpath
+func Fine() {}
+
+/*selfstab:hotpath*/
+func BlockComment() {}
+
+//selfstab:cache
+func WrongVerbPlacement() {}
+
+//selfstab:orderinvariant
+func ReasonlessLoop(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+//selfstab:hotpath
+
+var detached = 1
+
+// The prose mention of selfstab: deeper in a comment is not an
+// annotation and must stay silent.
+func Prose() {}
+
+func orderMisplaced() int {
+	x := 0
+	//selfstab:orderinvariant this is not above a range statement
+	x++
+	return x
+}

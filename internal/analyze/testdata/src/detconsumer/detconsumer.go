@@ -1,0 +1,19 @@
+// Package detconsumer consumes seeded streams without being engine
+// core: only the global-rand rule extends here, and wall-clock or
+// environment reads stay legal.
+package detconsumer
+
+import (
+	"math/rand"
+	"time"
+
+	"lintfix/fakerng"
+)
+
+// Mixed draws from the wrapper and, wrongly, from the global source.
+func Mixed(src *fakerng.Source) float64 {
+	v := src.Float64()
+	v += rand.Float64() // want `global rand\.Float64 draws from shared process-wide state`
+	_ = time.Now()      // wall clock is legal outside the core
+	return v
+}

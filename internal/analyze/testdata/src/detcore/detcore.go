@@ -1,0 +1,34 @@
+// Package detcore is a deterministic-core fixture for the detrand
+// analyzer: every determinism rule applies here.
+package detcore
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"lintfix/fakerng"
+)
+
+// Draws exercises the forbidden and allowed randomness sources.
+func Draws(src *fakerng.Source) float64 {
+	v := rand.Float64()              // want `global rand\.Float64 draws from shared process-wide state`
+	r := rand.New(rand.NewSource(1)) // want `rand\.New constructs a generator outside the rng wrapper package` `rand\.NewSource constructs a generator outside the rng wrapper package`
+	v += r.Float64()                 // methods on a seeded instance are fine
+	v += src.Float64()               // the wrapper stream is the sanctioned source
+	return v
+}
+
+// Clock exercises the wall-clock rules.
+func Clock() time.Duration {
+	t := time.Now()      // want `time\.Now in deterministic package`
+	return time.Since(t) // want `time\.Since in deterministic package`
+}
+
+// Env exercises the environment rules.
+func Env() string {
+	if v, ok := os.LookupEnv("SELFSTAB_DEBUG"); ok { // want `os\.LookupEnv in deterministic package`
+		return v
+	}
+	return os.Getenv("HOME") // want `os\.Getenv in deterministic package`
+}

@@ -1,0 +1,9 @@
+// Package detfree neither sits in the deterministic core nor imports
+// the stream wrapper: detrand leaves it alone.
+package detfree
+
+import "math/rand"
+
+// Roll may use the global source: this package made no determinism
+// promise.
+func Roll() int { return rand.Intn(6) }

@@ -1,0 +1,23 @@
+// Package engine is the journalchoke fixture's mutating subsystem:
+// trajectory-changing entry points carry //selfstab:mutator, exported
+// by the analyzer as package facts for the world package's check.
+package engine
+
+// Engine is a toy stepper.
+type Engine struct {
+	step  int
+	state []int
+}
+
+// Step advances the engine.
+//
+//selfstab:mutator
+func (e *Engine) Step() { e.step++ }
+
+// Poke corrupts slot i.
+//
+//selfstab:mutator
+func (e *Engine) Poke(i int) { e.state[i]++ }
+
+// StepCount is a read-only accessor: no fact.
+func (e *Engine) StepCount() int { return e.step }

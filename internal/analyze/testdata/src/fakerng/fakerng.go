@@ -1,0 +1,29 @@
+// Package fakerng is the fixture stand-in for the seeded-stream
+// wrapper package: math/rand constructors are legal here and nowhere
+// else in the deterministic fixture packages.
+package fakerng
+
+import "math/rand"
+
+// Source is a deterministic stream derived from a master seed.
+type Source struct{ r *rand.Rand }
+
+// New returns the master stream for seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent labeled stream.
+func (s *Source) Split(label string) *Source {
+	h := int64(0)
+	for _, c := range label {
+		h = h*31 + int64(c)
+	}
+	return &Source{r: rand.New(rand.NewSource(h))}
+}
+
+// Float64 draws from the stream.
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn draws from the stream.
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }

@@ -1,0 +1,64 @@
+// Package hot exercises the hotpath analyzer: one of each rejected
+// allocation site, and the sanctioned patterns that must stay legal.
+package hot
+
+import "fmt"
+
+// Stringer is a local interface to box into.
+type Stringer interface{ String() string }
+
+// ID is a concrete type with a String method.
+type ID int
+
+// String implements Stringer.
+func (i ID) String() string { return "id" }
+
+// Sink receives boxed values.
+func Sink(v Stringer) {}
+
+// state is reusable scratch.
+type state struct {
+	buf  []int
+	seen map[int]bool
+}
+
+type point struct{ x, y int }
+
+// Flagged contains one of each rejected allocation site.
+//
+//selfstab:hotpath
+func Flagged(s *state, i ID) {
+	fmt.Println("step", i)  // want `call to fmt\.Println allocates`
+	s.buf = []int{1, 2, 3}  // want `slice literal allocates`
+	s.seen = map[int]bool{} // want `map literal allocates`
+	f := func() int {       // want `closure literal allocates`
+		return 1
+	}
+	_ = f
+	Sink(i) // want `converted to interface`
+	var v Stringer
+	v = i // want `converted to interface`
+	_ = v
+	_ = Stringer(i) // want `converted to interface`
+}
+
+// Allowed shows the sanctioned patterns: state-gated make, struct
+// literals, and a call to an unannotated cold helper.
+//
+//selfstab:hotpath
+func Allowed(s *state, n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]int, n) // deliberate amortized growth
+	}
+	p := point{x: 1, y: 2}
+	s.buf[0] = p.x + p.y
+	if n < 0 {
+		coldFail(n)
+	}
+}
+
+// coldFail is the unannotated cold helper: formatting here is the
+// sanctioned escape, visible at the call site in review.
+func coldFail(n int) {
+	fmt.Printf("bad n: %d\n", n)
+}

@@ -1,0 +1,58 @@
+// Package mapiter exercises the maporder analyzer: flagged ranges,
+// the sanctioned key-collection shape, bare ranges, and the
+// orderinvariant escape hatch.
+package mapiter
+
+import "sort"
+
+// Sum ranges a map with a bound value: flagged.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// Keys collects keys only: allowed, because any use of the slice must
+// sort it first and maporder still guards the use sites.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count binds neither key nor value: the body cannot observe the
+// iteration order.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// MaxAnnotated is order-independent and says so.
+func MaxAnnotated(m map[string]int) int {
+	best := 0
+	//selfstab:orderinvariant max is commutative
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Values appends values, not keys: flagged despite looking like
+// collection, because the emitted order is observable.
+func Values(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		vals = append(vals, v)
+	}
+	return vals
+}

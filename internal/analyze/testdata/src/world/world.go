@@ -1,0 +1,78 @@
+// Package world is the journalchoke fixture's journaled world type:
+// every exported mutator of World must route through the apply
+// chokepoint, or carry an //selfstab:unjournaled justification.
+package world
+
+import "lintfix/engine"
+
+// Op is a journaled operation.
+type Op struct {
+	Kind string
+	Arg  int
+}
+
+// World is the journaled type under test.
+type World struct {
+	eng   *engine.Engine
+	log   []Op
+	gen   int
+	table []int //selfstab:cache
+}
+
+// apply is the chokepoint: mutate, then journal.
+func (w *World) apply(op Op) error {
+	w.dispatch(op)
+	w.log = append(w.log, op)
+	return nil
+}
+
+func (w *World) dispatch(op Op) {
+	switch op.Kind {
+	case "step":
+		w.eng.Step()
+	case "poke":
+		w.eng.Poke(op.Arg)
+	}
+}
+
+// Good routes through the chokepoint.
+func (w *World) Good() error { return w.apply(Op{Kind: "step"}) }
+
+// BadCall reaches a mutator fact around the chokepoint.
+func (w *World) BadCall() { // want `exported method \(\*World\)\.BadCall mutates world state`
+	w.eng.Step()
+}
+
+// BadStore writes world state directly.
+func (w *World) BadStore(g int) { // want `exported method \(\*World\)\.BadStore mutates world state`
+	w.gen = g
+}
+
+// BadDeep reaches a mutation through an unexported helper.
+func (w *World) BadDeep() { // want `exported method \(\*World\)\.BadDeep mutates world state`
+	w.helper()
+}
+
+func (w *World) helper() { w.eng.Poke(0) }
+
+// CacheFill writes only the cache-annotated field: allowed.
+func (w *World) CacheFill() {
+	w.table = append(w.table, w.gen)
+}
+
+// Tune is deliberately outside the journal.
+//
+//selfstab:unjournaled fixture perf knob; results are identical either way
+func (w *World) Tune(g int) { w.gen = g }
+
+// Vetted reaches a mutation only through an unjournaled-vetted helper:
+// allowed, because the helper's subtree is exempt like the chokepoint's.
+func (w *World) Vetted() { w.vettedHelper() }
+
+// vettedHelper is vetted as deliberately outside the journal.
+//
+//selfstab:unjournaled fixture schedule helper; replay reproduces it deterministically
+func (w *World) vettedHelper() { w.eng.Step() }
+
+// Reader never mutates.
+func (w *World) Reader() int { return w.eng.StepCount() }

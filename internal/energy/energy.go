@@ -255,6 +255,9 @@ func New(n int, cfg Config, hooks Hooks) (*Engine, error) {
 // that crossed zero are killed through the churn hook. step is the
 // protocol's completed-step count. The pass is allocation-free (the
 // parallel variant reuses its scratch after the first sizing).
+//
+//selfstab:mutator
+//selfstab:hotpath
 func (e *Engine) Step(step int) error {
 	e.stepsRun++
 	if workers := e.resolveWorkers(); workers > 1 && e.n >= parallelThreshold {
@@ -314,7 +317,7 @@ func (e *Engine) Step(step int) error {
 			}
 			if e.hooks.Kill != nil {
 				if err := e.hooks.Kill(i); err != nil {
-					return fmt.Errorf("energy: depletion kill of node %d: %w", i, err)
+					return killErr(i, err)
 				}
 			}
 			continue
@@ -324,12 +327,23 @@ func (e *Engine) Step(step int) error {
 			if lvl := e.quantize(b); lvl != e.level[i] {
 				e.level[i] = lvl
 				if err := e.hooks.Scale(i, float64(lvl)/float64(e.cfg.Levels)); err != nil {
-					return fmt.Errorf("energy: rotation scale of node %d: %w", i, err)
+					return scaleErr(i, err)
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// killErr and scaleErr build the hook-failure errors off the hot path:
+// Step is a declared hot path, and error construction is the one
+// allocation its body would otherwise contain.
+func killErr(i int, err error) error {
+	return fmt.Errorf("energy: depletion kill of node %d: %w", i, err)
+}
+
+func scaleErr(i int, err error) error {
+	return fmt.Errorf("energy: rotation scale of node %d: %w", i, err)
 }
 
 func (e *Engine) resolveWorkers() int {
@@ -450,7 +464,7 @@ func (e *Engine) stepParallel(step int, workers int) error {
 			}
 			if e.hooks.Kill != nil {
 				if err := e.hooks.Kill(i); err != nil {
-					return fmt.Errorf("energy: depletion kill of node %d: %w", i, err)
+					return killErr(i, err)
 				}
 			}
 			continue
@@ -460,7 +474,7 @@ func (e *Engine) stepParallel(step int, workers int) error {
 			if lvl := e.quantize(b); lvl != e.level[i] {
 				e.level[i] = lvl
 				if err := e.hooks.Scale(i, float64(lvl)/float64(e.cfg.Levels)); err != nil {
-					return fmt.Errorf("energy: rotation scale of node %d: %w", i, err)
+					return scaleErr(i, err)
 				}
 			}
 		}
@@ -486,6 +500,8 @@ func (e *Engine) quantize(b float64) int16 {
 // Resize grows the model to n nodes; new arrivals under churn start with
 // a full battery. Shrinking is not supported — node slots are never
 // recycled.
+//
+//selfstab:mutator
 func (e *Engine) Resize(n int) {
 	for len(e.battery) < n {
 		e.battery = append(e.battery, e.cfg.Capacity)
@@ -506,6 +522,8 @@ func (e *Engine) Resize(n int) {
 // carry over untouched, so EnergyStats is invariant across the call —
 // a dropped slot was dead and had stopped draining anyway. Call only
 // between steps.
+//
+//selfstab:mutator
 func (e *Engine) Compact(remap []int32, newN int) error {
 	if len(remap) != len(e.battery) {
 		return fmt.Errorf("energy: remap of %d entries for %d nodes", len(remap), len(e.battery))

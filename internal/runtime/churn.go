@@ -292,6 +292,8 @@ func (e *Engine) DeadCount() int { return e.deadN }
 // stream is derived from the engine's master source exactly as at
 // construction, so surviving nodes' streams are untouched and a fixed
 // seed plus a fixed churn schedule reproduces bit-identical runs.
+//
+//selfstab:mutator
 func (e *Engine) Append(id int64) (int, error) {
 	i := len(e.nodes)
 	if e.g.N() != i+1 {
@@ -331,6 +333,8 @@ func (e *Engine) Append(id int64) (int, error) {
 // never participates again. The disruption sites are the node plus its
 // current neighbors — capture runs before the caller detaches the node's
 // edges, so call Kill first, then remove the edges from the topology.
+//
+//selfstab:mutator
 func (e *Engine) Kill(i int) error {
 	if err := e.checkIndex(i); err != nil {
 		return err
@@ -359,6 +363,8 @@ func (e *Engine) Kill(i int) error {
 // lost and the node restarts cold, exactly like a fresh arrival at the
 // same position (its rng stream continues, keeping runs reproducible).
 // A sleeping node reboots awake.
+//
+//selfstab:mutator
 func (e *Engine) Reboot(i int) error {
 	if err := e.checkIndex(i); err != nil {
 		return err
@@ -383,6 +389,8 @@ func (e *Engine) Reboot(i int) error {
 // Sleep duty-cycles node i off: radio silent, state frozen. The
 // disruption sites are the node plus its current neighbors — call Sleep
 // before detaching its edges from the topology.
+//
+//selfstab:mutator
 func (e *Engine) Sleep(i int) error {
 	if err := e.checkIndex(i); err != nil {
 		return err
@@ -406,6 +414,8 @@ func (e *Engine) Sleep(i int) error {
 // state resumed — self-stabilization repairs whatever went stale. Call
 // Wake after reattaching the node's edges so the join sites include its
 // current neighbors.
+//
+//selfstab:mutator
 func (e *Engine) Wake(i int) error {
 	if err := e.checkIndex(i); err != nil {
 		return err

@@ -48,6 +48,8 @@ func (e *Engine) CompactionRemap() ([]int32, int) {
 // untouched — node caches key on application identifiers, which never
 // change — so the step after a Compact computes exactly what it would
 // have computed without one. Call only between steps.
+//
+//selfstab:mutator
 func (e *Engine) Compact(remap []int32, newN int) error {
 	if len(remap) != len(e.nodes) {
 		return fmt.Errorf("runtime: remap of %d entries for %d nodes", len(remap), len(e.nodes))

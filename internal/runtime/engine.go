@@ -285,6 +285,8 @@ func (e *Engine) Graph() *topology.Graph { return e.g }
 // GridIndex path) should instead Activate the changed nodes and call
 // NoteTopologyChanged, keeping the re-examination proportional to the
 // change.
+//
+//selfstab:mutator
 func (e *Engine) SetGraph(g *topology.Graph) error {
 	if g.N() != len(e.nodes) {
 		return fmt.Errorf("runtime: new graph has %d nodes, engine has %d", g.N(), len(e.nodes))
@@ -300,6 +302,8 @@ func (e *Engine) SetGraph(g *topology.Graph) error {
 // must have Activated every node whose adjacency changed — typically by
 // wiring topology.GridIndex's adjacency hook to Activate — or frontier
 // stepping would silently miss the delta.
+//
+//selfstab:mutator
 func (e *Engine) NoteTopologyChanged() { e.epoch++ }
 
 // Epoch returns a counter that advances whenever the shared state or the
@@ -314,12 +318,16 @@ func (e *Engine) Epoch() uint64 { return e.epoch }
 // protocol step itself has fully committed (guards applied, step counted,
 // epoch advanced) — retrying Step runs a new step, it does not replay the
 // failed one.
+//
+//selfstab:mutator
 func (e *Engine) SetPostStep(fn func(step int) error) { e.postStep = fn }
 
 // SetPreStep installs a hook that runs at the start of every Step, before
 // any broadcast (nil disables it). The hook receives the number of
 // completed steps; churn schedules use it to mutate the population inside
 // the step loop, so a step always observes a consistent topology.
+//
+//selfstab:mutator
 func (e *Engine) SetPreStep(fn func(step int) error) { e.preStep = fn }
 
 // SetParallelism fixes the number of workers used for the per-node step
@@ -341,6 +349,8 @@ func (e *Engine) SetParallelism(workers int) {
 // to demote draining cluster-heads online. Call only between steps (it
 // races with the parallel guard phase otherwise), exactly like the churn
 // mutators.
+//
+//selfstab:mutator
 func (e *Engine) SetDensityScale(i int, s float64) error {
 	if err := e.checkIndex(i); err != nil {
 		return err
@@ -442,6 +452,8 @@ func (e *Engine) forEachNode(fn func(i int) bool) bool {
 // With frontier stepping active (see frontier.go) the same semantics are
 // produced by examining only the worklist of potentially-changed nodes;
 // a stabilized network steps in O(1) instead of O(N).
+//
+//selfstab:mutator
 func (e *Engine) Step() error {
 	if e.sparse {
 		return e.stepSparse()
@@ -550,6 +562,8 @@ func (e *Engine) stepDense() error {
 }
 
 // Run executes exactly steps steps.
+//
+//selfstab:mutator
 func (e *Engine) Run(steps int) error {
 	for i := 0; i < steps; i++ {
 		if err := e.Step(); err != nil {
@@ -571,6 +585,8 @@ func (e *Engine) Run(steps int) error {
 // (a churn pre-step op, a corruption) counts as a change even before any
 // shared variable moves — its protocol consequences may lag by up to the
 // cache TTL, and declaring stability inside that lag would be premature.
+//
+//selfstab:mutator
 func (e *Engine) RunUntilStable(maxSteps, window int) (int, error) {
 	if window < 1 {
 		window = 1
@@ -720,6 +736,8 @@ const (
 // frac is clamped to [0, 1]: values above 1 hit every node, values at or
 // below 0 are a guaranteed no-op (no epoch bump, no rng draws). Hit nodes
 // are recorded as a ChurnFault disruption in the convergence ledger.
+//
+//selfstab:mutator
 func (e *Engine) Corrupt(frac float64, kind CorruptionKind, src *rng.Source) {
 	if frac <= 0 {
 		return

@@ -222,6 +222,8 @@ func (n *Node) IsHead() bool { return n.headID == n.id }
 // neighbor cache, not on the node's own shared variables, so the frequent
 // frameDirty causes (own density/head updates, energy rescaling) refresh
 // the scalar header fields and reuse the list untouched.
+//
+//selfstab:hotpath
 func (n *Node) fillFrame(f *Frame) {
 	f.ID = n.id
 	f.TieID = n.tieID
@@ -304,6 +306,8 @@ func (n *Node) ingest(frames []Frame, senders []int32, ttl int) {
 // must be re-examined next step for its aging to stay bit-identical to
 // the full scan. With ttl 0 eviction never fires, aging is unobservable,
 // and stale stays false so fully-refreshed nodes can leave the frontier.
+//
+//selfstab:hotpath
 func (n *Node) ingestAdj(frames []Frame, nbrs []int, sending []bool, ttl int) {
 	for i := range n.cache {
 		n.cache[i].age++
@@ -356,6 +360,8 @@ func (n *Node) ingestAdj(frames []Frame, nbrs []int, sending []bool, ttl int) {
 // if the cached occupancy leaves nothing free (transient, e.g. after
 // corruption with a tiny gamma), the node keeps its color and retries next
 // step rather than spinning. Reports whether the shared color changed.
+//
+//selfstab:hotpath
 func (n *Node) guardN1(proto Protocol) bool {
 	old := n.tieID
 	if !proto.UseDag {
@@ -405,6 +411,8 @@ func (n *Node) guardN1(proto Protocol) bool {
 // advertised neighbor list are id-sorted, so the membership test is a
 // merge scan — no hashing, no allocation. Reports whether the shared
 // density changed.
+//
+//selfstab:hotpath
 func (n *Node) guardR1(scale float64) bool {
 	old := n.density
 	deg := len(n.cache)
@@ -456,6 +464,8 @@ func (n *Node) guardR1(scale float64) bool {
 
 // guardR2 is the cluster-head selection rule, including the Section 4.3
 // fusion variant when enabled. Reports whether head or parent changed.
+//
+//selfstab:hotpath
 func (n *Node) guardR2(proto Protocol) bool {
 	oldHead, oldParent := n.headID, n.parent
 	myRank := cluster.Rank{Value: n.density, TieID: n.tieID, IsHead: n.IsHead(), AppID: n.id}

@@ -162,6 +162,26 @@ func (e *Engine) forEachTile(fn func(t int)) {
 	wg.Wait()
 }
 
+// mergeHalos drains every halo outbox addressed to destination tile d in
+// source-tile order — fixed order, so the resulting exec lists are
+// reproducible run to run — deduplicating against d's own flags (a
+// boundary node may be queued by several source tiles, or already be on
+// its own tile's list). Tile-parallel over destinations: each tile
+// writes only its own execFlag entries, so the phase is race-free.
+//
+//selfstab:hotpath
+func (e *Engine) mergeHalos(d int) {
+	T := e.tiles
+	for s := 0; s < T; s++ {
+		for _, w := range e.tileOutbox[s*T+d] {
+			if !e.execFlag[w] {
+				e.execFlag[w] = true
+				e.tileExec[d] = append(e.tileExec[d], w)
+			}
+		}
+	}
+}
+
 // stepTiled is stepSparse's body under a tiling: identical semantics and
 // bookkeeping, with the worklist sharded by tile ownership and every phase
 // tile-parallel. The caller (stepSparse) has already run the disruption
@@ -217,21 +237,8 @@ func (e *Engine) stepTiled() error {
 		}
 	})
 
-	// Halo merge (tile-parallel over destinations): each tile drains the
-	// outboxes addressed to it in source-tile order — fixed order, so the
-	// resulting exec lists are reproducible run to run — deduplicating
-	// against its own flags (a boundary node may be queued by several
-	// source tiles, or already be on its own tile's list).
-	e.forEachTile(func(d int) {
-		for s := 0; s < T; s++ {
-			for _, w := range e.tileOutbox[s*T+d] {
-				if !e.execFlag[w] {
-					e.execFlag[w] = true
-					e.tileExec[d] = append(e.tileExec[d], w)
-				}
-			}
-		}
-	})
+	// Halo merge (tile-parallel over destinations): see mergeHalos.
+	e.forEachTile(e.mergeHalos)
 
 	total := 0
 	for t := 0; t < T; t++ {

@@ -237,6 +237,9 @@ func New(n int, cfg Config, hooks Hooks, src *rng.Source) (*Engine, error) {
 // Step advances the data plane by one Δ(τ) step: flows inject, every node
 // forwards up to Budget queued packets one hop, staged arrivals merge into
 // the destination queues. step is the protocol's completed-step count.
+//
+//selfstab:mutator
+//selfstab:hotpath
 func (e *Engine) Step(step int) error {
 	e.step = step
 	e.stepsRun++
@@ -354,6 +357,8 @@ func (e *Engine) alive(i int) bool {
 // the worklist is re-sorted once per forwarding pass when anything was
 // added (steady-state flows re-use their membership, so the common step
 // neither appends nor sorts).
+//
+//selfstab:hotpath
 func (e *Engine) markBusy(v int) {
 	if e.busyFlag[v] {
 		return
@@ -364,6 +369,8 @@ func (e *Engine) markBusy(v int) {
 }
 
 // inject creates one packet on flow fi and enqueues it at the source.
+//
+//selfstab:hotpath
 func (e *Engine) inject(fi int, f *flowState) {
 	e.acc.offered++
 	f.offered++
@@ -390,6 +397,8 @@ func (e *Engine) inject(fi int, f *flowState) {
 // and keeps v on the forwarding worklist. Exactly one packet dies on
 // overflow: the arrival under DropTail, the oldest queued packet under
 // DropHead (per-flow drop accounting follows the casualty).
+//
+//selfstab:hotpath
 func (e *Engine) admit(v int, p packet) {
 	q := &e.queues[v]
 	if q.push(p) {
@@ -407,6 +416,8 @@ func (e *Engine) admit(v int, p packet) {
 }
 
 // deliver finalizes a packet at its destination.
+//
+//selfstab:hotpath
 func (e *Engine) deliver(p packet) {
 	f := &e.flows[p.flow]
 	e.acc.delivered++
@@ -429,6 +440,8 @@ func (e *Engine) deliver(p packet) {
 // Resize grows the data plane to n nodes (new arrivals under churn get
 // empty queues). Shrinking is not supported — node slots are never
 // recycled, dead nodes just stop being routed to.
+//
+//selfstab:mutator
 func (e *Engine) Resize(n int) {
 	for len(e.queues) < n {
 		e.queues = append(e.queues, ring{})
@@ -454,6 +467,8 @@ func (e *Engine) Resize(n int) {
 // into retired counters so the ledger is invariant across the call.
 // Dropped slots' queues must already be empty — the churn layer flushes
 // a queue at its node's death. Call only between steps.
+//
+//selfstab:mutator
 func (e *Engine) Compact(remap []int32, newN int) error {
 	if len(remap) != len(e.queues) {
 		return fmt.Errorf("traffic: remap of %d entries for %d nodes", len(remap), len(e.queues))
@@ -538,6 +553,8 @@ func (e *Engine) RetiredLoad() int64 { return e.retiredLoad }
 // dead-endpoint drop — the fate of a queue lost to a crash or a permanent
 // departure. (A sleeping node's queue is not flushed; it is frozen until
 // the node wakes.)
+//
+//selfstab:mutator
 func (e *Engine) FlushNode(i int) {
 	if i < 0 || i >= len(e.queues) {
 		return

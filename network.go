@@ -39,6 +39,8 @@ func (n *Network) StepCount() int { return n.engine.StepCount() }
 // nodes whose inputs could have changed are examined, so a stabilized
 // network steps in O(1) regardless of size. An auto-compaction threshold
 // (SetAutoCompact) is checked before the step.
+//
+//selfstab:unjournaled stepping is deterministic; snapshots record the step count and replay re-steps instead of journaling ops
 func (n *Network) Step() error {
 	if err := n.maybeAutoCompact(); err != nil {
 		return err
@@ -173,6 +175,7 @@ func (n *Network) Clusters() []Cluster {
 		byHead[node.HeadID()] = append(byHead[node.HeadID()], node.ID())
 	}
 	out := make([]Cluster, 0, len(byHead))
+	//selfstab:orderinvariant every cluster is emitted exactly once and the trailing sorts canonicalize the order
 	for h, ms := range byHead {
 		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
 		out = append(out, Cluster{HeadID: h, Members: ms})
@@ -334,6 +337,8 @@ func (n *Network) setPositionsImpl(positions []snapshot.Point) error {
 // (the default) sizes the pool to GOMAXPROCS. Results — protocol state,
 // traffic and energy statistics alike — are bit-identical for any value;
 // the knob exists for benchmarking and the determinism tests.
+//
+//selfstab:unjournaled perf knob; results are bit-identical for any worker count
 func (n *Network) SetParallelism(workers int) {
 	n.workers = workers
 	n.engine.SetParallelism(workers)

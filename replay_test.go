@@ -254,7 +254,7 @@ func TestSnapshotRoundTripEveryConstructor(t *testing.T) {
 			return NewNetwork([]Point{{0.2, 0.2}, {0.25, 0.22}, {0.8, 0.8}}, WithSeed(5))
 		}},
 		{"random", func() (*Network, error) {
-			return NewRandomNetwork(40, WithSeed(5), WithDAG(1 << 16))
+			return NewRandomNetwork(40, WithSeed(5), WithDAG(1<<16))
 		}},
 		{"poisson", func() (*Network, error) {
 			return NewPoissonNetwork(60, WithSeed(5), WithStickyHeads())

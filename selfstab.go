@@ -97,6 +97,7 @@
 //     medium with a synchronous daemon (lossy media and randomized
 //     daemons draw per-node randomness every step, so they keep the
 //     dense path).
+//
 //   - Spatially-tiled sharded stepping (WithTiles). The deployment
 //     region is partitioned into k rectangular tiles, each owning its
 //     nodes and its shard of the frontier worklist. A step expands and
@@ -116,12 +117,14 @@
 //     single-core host); on multicore the per-tile phases spread across
 //     the pool and the step scales with min(tiles, cores). The default
 //     is automatic — min(GOMAXPROCS, N/2048) tiles.
+//
 //   - Saturated-frontier fallback. When a disruption pends half the
 //     population or more (mass corruption, a blackout, ActivateAll),
 //     worklist bookkeeping costs more than it saves: the engine detects
 //     2·|frontier| ≥ alive before dispatch and runs that step as a flat
 //     index-order scan with sparse per-node operations, rebuilding the
 //     worklist on the way out (BenchmarkStepSaturated pins the regime).
+//
 //   - Interned neighbor summaries. A published neighbor-summary list is
 //     immutable: frame assembly reuses the previously published slice
 //     when the cache content is unchanged, and receivers cache the list
@@ -129,6 +132,7 @@
 //     drops from O(degree²) (every receiver holding a private copy of
 //     every neighbor's list) to O(degree), which is what keeps the
 //     million-node scenario (BenchmarkStep1M) inside a commodity heap.
+//
 //   - O(log N) churn victim selection and O(1) population counts. A
 //     Fenwick-tree order-statistic index over the alive set backs the
 //     churn schedule's random victim picks (NthAlive) and Population,
@@ -149,11 +153,13 @@
 //     array, both reused every step). The engine keeps exactly one typed
 //     outgoing frame per node in a reusable arena, so a steady-state step
 //     performs O(1) amortized allocations instead of O(edges).
+//
 //   - Per-node neighbor caches are flat, id-sorted entry slices. Frame
 //     assembly walks them in order (no sort, no hashing), the density
 //     rule (R1) counts 2-hop links with merge scans over the sorted
 //     lists, and a cache refresh that does not change any advertised
 //     value is a single comparison with no copy.
+//
 //   - Guard skipping via dirty tracking. The guarded assignments N1, R1
 //     and R2 are deterministic functions of a node's cache and its own
 //     shared variables. Each node tracks whether those inputs changed;
@@ -161,6 +167,7 @@
 //     network steps in time proportional to delivered frames. The same
 //     tracking lets Stabilize detect quiescence without snapshotting
 //     state each step.
+//
 //   - Parallel phases. Frame assembly and ingest+guards are per-node
 //     independent and run on a GOMAXPROCS-sized worker pool. Randomness
 //     that must stay ordered (medium losses, daemon scheduling) is drawn
@@ -168,6 +175,7 @@
 //     colors) come from per-node streams, so results are bit-identical
 //     for a fixed seed at any parallelism — the determinism test in
 //     internal/runtime pins this.
+//
 //   - Incremental topology under mobility and churn. SetPositions keeps
 //     a dense uniform grid index (topology.GridIndex) alive across calls
 //     and recomputes only moved nodes' cells and edges rather than
@@ -181,6 +189,7 @@
 //     churn). Per-source flat-distance rows for the traffic stretch
 //     baseline are memoized per topology epoch — one BFS per source per
 //     topology change, not one per flow.
+//
 //   - Epoch-cached routing tables. The hierarchical table behind Route,
 //     RoutingState and the traffic data plane is rebuilt only when the
 //     engine's epoch moved (a state-changing step, fault injection, a
@@ -188,6 +197,7 @@
 //     A route query on a quiescent network is a pure table walk —
 //     BenchmarkRouteCached vs BenchmarkRouteRebuild measures roughly
 //     three orders of magnitude between the two.
+//
 //   - An O(1)-amortized traffic phase. The data plane attached by
 //     AttachTraffic runs as a post-guard phase of the same step loop:
 //     packets live in fixed-capacity per-node rings, one-hop moves are
@@ -199,6 +209,7 @@
 //     for a fixed seed at any parallelism (pinned by TestTrafficDeterminism).
 //     BenchmarkTrafficStep1000 (1000 nodes, 100+ flows) adds zero
 //     steady-state allocations over the bare protocol step.
+//
 //   - An allocation-free energy phase. The battery model attached by
 //     AttachEnergy runs after the traffic phase of the same step: one
 //     sequential pass over preallocated per-node arrays charges role idle
@@ -461,18 +472,18 @@ type Network struct {
 	// step, fault injection, or a topology swap), the flat table only when
 	// the topology itself moved. Route, RoutingState and the traffic data
 	// plane all share these.
-	routeTab      *routing.Hierarchical
-	routeTabEpoch uint64
-	flatTab       *routing.Flat
-	flatTabEpoch  uint64
-	topoEpoch     uint64 // bumped by SetPositions and edge-changing churn
+	routeTab      *routing.Hierarchical //selfstab:cache
+	routeTabEpoch uint64                //selfstab:cache
+	flatTab       *routing.Flat         //selfstab:cache
+	flatTabEpoch  uint64                //selfstab:cache
+	topoEpoch     uint64                // bumped by SetPositions and edge-changing churn
 
 	// Memoized flat BFS distance rows (the path-stretch baseline the
 	// traffic plane queries per flow), keyed by source and valid for one
 	// topology epoch: one BFS per source per topology change instead of
 	// one per flow.
-	distRows      map[int][]int
-	distRowsEpoch uint64
+	distRows      map[int][]int //selfstab:cache
+	distRowsEpoch uint64        //selfstab:cache
 
 	// Post-step phases, driven by stepPhases in order: traffic moves
 	// packets, then energy charges them. The attach flags track whether a
