@@ -1,8 +1,8 @@
 // Command selfstab-lint is the repo's static-analysis gate: a
 // multichecker over the internal/analyze suite (detrand, maporder,
-// journalchoke, hotpath) that encodes the engine's standing invariants
-// — deterministic stepping, journal completeness, zero-alloc hot paths
-// — as build-time checks. CI runs it over ./... and fails on any
+// journalchoke, hotpath, obspure) that encodes the engine's standing
+// invariants — deterministic stepping, journal completeness, zero-alloc
+// hot paths, pure-observer instrumentation — as build-time checks. CI runs it over ./... and fails on any
 // finding; scripts/lint.sh runs the same gate locally.
 //
 // Usage:

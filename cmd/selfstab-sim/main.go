@@ -11,6 +11,7 @@
 //	selfstab-sim energy -nodes 1000 -steps 500 -scenario rotation
 //	selfstab-sim scale -nodes 100000 -scenario quiescent
 //	selfstab-sim serve -nodes 500 -sps 10 -preload churn -snapshot-dir /tmp/snaps
+//	selfstab-sim trace -nodes 500 -steps 200 -scenario mixed -o trace.json
 //
 // Experiments: table1, table2, table3, table4, table5, mobility,
 // stabilization, gamma, metrics, orders, energy, daemons, scalability,
@@ -43,7 +44,13 @@
 // serves live cluster maps and ledgers, accepts scenario injection,
 // streams step frames over SSE, exposes Prometheus-style metrics, and
 // checkpoints to versioned snapshots that restore and replay
-// bit-identically (-restore). SIGTERM drains gracefully.
+// bit-identically (-restore). -pprof mounts net/http/pprof under
+// /debug/pprof/ for live profiling. SIGTERM drains gracefully.
+//
+// The trace subcommand records a step-phase profile of a run — per-step
+// and per-phase wall-time spans, per-tile halo merges, engine counters —
+// and writes it as Chrome trace-event JSON (chrome://tracing,
+// https://ui.perfetto.dev) to a file or stdout.
 //
 // An unknown subcommand, experiment, scenario or workload name exits
 // non-zero with a usage line on stderr.
@@ -71,7 +78,7 @@ type renderer interface{ Render() string }
 
 // usage is the one-line surface summary attached to every bad-name error,
 // so a typo exits non-zero with actionable help on stderr.
-const usage = "usage: selfstab-sim [-exp <experiment>] [flags] | selfstab-sim traffic [flags] | selfstab-sim churn [flags] | selfstab-sim energy [flags] | selfstab-sim scale [flags] | selfstab-sim serve [flags]"
+const usage = "usage: selfstab-sim [-exp <experiment>] [flags] | selfstab-sim traffic [flags] | selfstab-sim churn [flags] | selfstab-sim energy [flags] | selfstab-sim scale [flags] | selfstab-sim serve [flags] | selfstab-sim trace [flags]"
 
 func usageErrorf(format string, a ...any) error {
 	return fmt.Errorf(format+"\n"+usage, a...)
@@ -90,8 +97,10 @@ func run(args []string, out io.Writer) error {
 			return runScale(args[1:], out)
 		case "serve":
 			return runServe(args[1:], out)
+		case "trace":
+			return runTrace(args[1:], out)
 		default:
-			return usageErrorf("unknown subcommand %q (want traffic, churn, energy, scale or serve)", args[0])
+			return usageErrorf("unknown subcommand %q (want traffic, churn, energy, scale, serve or trace)", args[0])
 		}
 	}
 	fs := flag.NewFlagSet("selfstab-sim", flag.ContinueOnError)

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -347,5 +350,70 @@ func TestRunEnergyBadArgs(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"energy", "-steps", "abc"}, &buf); err == nil {
 		t.Error("bad energy flag accepted")
+	}
+}
+
+// TestRunTraceValidation: every bad trace flag exits with a usage error
+// before any world is built.
+func TestRunTraceValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"trace", "-nodes", "1"},
+		{"trace", "-steps", "0"},
+		{"trace", "-range", "0"},
+		{"trace", "-range", "1.5"},
+		{"trace", "-cachettl", "0"},
+		{"trace", "-scenario", "bogus"},
+		{"trace", "extra-arg"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestRunTraceStdout records a small mixed run and checks the trace is
+// valid Chrome trace JSON with one span per recorded step.
+func TestRunTraceStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"trace", "-nodes", "60", "-range", "0.2", "-steps", "25", "-scenario", "mixed"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	steps := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "step" {
+			steps++
+		}
+	}
+	if steps != 25 {
+		t.Errorf("trace has %d step spans, want 25", steps)
+	}
+}
+
+// TestRunTraceFile writes the trace to -o and prints a summary line.
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := run([]string{"trace", "-nodes", "60", "-range", "0.2", "-steps", "10", "-scenario", "none", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote 10 step records") {
+		t.Errorf("missing summary line: %q", buf.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Errorf("trace file is not valid JSON")
 	}
 }

@@ -33,6 +33,7 @@ func runServe(args []string, out io.Writer) error {
 		snapDir  = fs.String("snapshot-dir", "", "directory for POST /snapshot checkpoints (empty: stream-only)")
 		restore  = fs.String("restore", "", "snapshot file to restore the world from instead of building one")
 		drain    = fs.Bool("drain-snapshot", false, "write a final checkpoint to -snapshot-dir on shutdown")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service address")
 	)
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +84,7 @@ func runServe(args []string, out io.Writer) error {
 		StepsPerSecond: *sps,
 		SnapshotDir:    *snapDir,
 		DrainSnapshot:  *drain,
+		EnablePprof:    *pprofOn,
 	})
 	if err != nil {
 		return err

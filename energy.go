@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"selfstab/internal/energy"
+	"selfstab/internal/obs"
 	"selfstab/internal/runtime"
 	"selfstab/internal/snapshot"
 )
@@ -136,6 +137,7 @@ func (n *Network) attachEnergyImpl(sc snapshot.EnergyConfig) error {
 		}
 	}
 	eng.SetParallelism(n.workers)
+	eng.SetProbe(n.probe) // late attach inherits the network's probe
 	n.energy = eng
 	n.energyOn = true
 	n.installStepPhases()
@@ -157,13 +159,28 @@ func (n *Network) DetachEnergy() {
 // sequentially on the engine's goroutine, so their ledgers stay
 // bit-identical at any parallelism.
 func (n *Network) stepPhases(step int) error {
+	p := n.probe
 	if n.trafficOn {
-		if err := n.traffic.Step(step); err != nil {
+		if p != nil {
+			p.PhaseBegin(obs.PhaseTraffic)
+		}
+		err := n.traffic.Step(step)
+		if p != nil {
+			p.PhaseEnd(obs.PhaseTraffic)
+		}
+		if err != nil {
 			return err
 		}
 	}
 	if n.energyOn {
-		if err := n.energy.Step(step); err != nil {
+		if p != nil {
+			p.PhaseBegin(obs.PhaseEnergy)
+		}
+		err := n.energy.Step(step)
+		if p != nil {
+			p.PhaseEnd(obs.PhaseEnergy)
+		}
+		if err != nil {
 			return err
 		}
 	}

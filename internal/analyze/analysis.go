@@ -1,7 +1,7 @@
-// Package analyze is the repo's static-analysis suite: four analyzers
-// (detrand, maporder, journalchoke, hotpath) that turn the engine's
-// standing invariants into machine-checked contracts, plus the small
-// framework they run on.
+// Package analyze is the repo's static-analysis suite: five analyzers
+// (detrand, maporder, journalchoke, hotpath, obspure) that turn the
+// engine's standing invariants into machine-checked contracts, plus the
+// small framework they run on.
 //
 // Why these rules exist:
 //
@@ -20,6 +20,12 @@
 //     call graph of every exported Network method and fails the build
 //     if a method can reach a mutating engine entry point — or write
 //     Network state — without passing through applyOp.
+//   - Observation must not perturb the trajectory. The instrumentation
+//     layer (internal/obs) promises that tracing on vs off is
+//     bit-identical; that holds only if probe callbacks never feed back
+//     into the engine and the step path never reads observation state.
+//     obspure checks both directions statically, so a probe that steers
+//     the world is a lint failure before it is a flaky oracle.
 //   - The hot paths are allocation-budgeted. The step benchmarks pin
 //     0–2 allocs/op; hotpath statically rejects the incidental
 //     allocation sites (fmt calls, map/slice composite literals,

@@ -50,6 +50,13 @@ func TestJournalChokeMissingChokepoint(t *testing.T) {
 	}
 }
 
+func TestObsPure(t *testing.T) {
+	pkgs := loadFixture(t, "./obsiface", "./obscore", "./obsprobes")
+	checkDiagnostics(t, pkgs, NewObsPure(ObsPureConfig{
+		ObsPkg: "lintfix/obsiface", Iface: "Probe", Core: []string{"lintfix/obscore"},
+	}))
+}
+
 func TestHotPath(t *testing.T) {
 	pkgs := loadFixture(t, "./hot")
 	checkDiagnostics(t, pkgs, NewHotPath())

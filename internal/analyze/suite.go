@@ -10,5 +10,6 @@ func Suite() []*Analyzer {
 		NewMapOrder(DefaultMapOrderConfig()),
 		NewJournalChoke(DefaultJournalChokeConfig()),
 		NewHotPath(),
+		NewObsPure(DefaultObsPureConfig()),
 	}
 }

@@ -1,0 +1,51 @@
+// Package obscore is the obspure fixture's engine core: its step path
+// may emit observations but must never read them back, and probe
+// implementations elsewhere must never call into it.
+package obscore
+
+import "lintfix/obsiface"
+
+// Ticks is package-level engine state a probe must never store to.
+var Ticks int
+
+// Engine is the fixture's stepping core.
+type Engine struct {
+	probe obsiface.Probe
+	state int
+}
+
+// Advance mutates engine state; calling it from a probe callback is the
+// feedback loop obspure rule 1 exists to catch.
+func (e *Engine) Advance() { e.state++ }
+
+// Step is the fixture's step-path root.
+//
+//selfstab:mutator
+func (e *Engine) Step() {
+	if p := e.probe; p != nil {
+		p.PhaseBegin(0)
+		p.Counter(int64(e.state))
+		p.PhaseEnd(0)
+	}
+	obsiface.Emit(0) // void emission: legal
+	e.inner()
+}
+
+// inner is reachable from the mutator root, so its obs read is flagged
+// even though inner itself carries no annotation.
+func (e *Engine) inner() {
+	e.state += obsiface.Stats() // want `step-path function inner reads observation state via obsiface\.Stats`
+}
+
+// merge is hot-path code: an annotation root in its own right.
+//
+//selfstab:hotpath
+func (e *Engine) merge() {
+	if obsiface.Stats() > 0 { // want `step-path function merge reads observation state via obsiface\.Stats`
+		e.state++
+	}
+}
+
+// Report is an export path, not step-path code: reading observation
+// state here is legal.
+func (e *Engine) Report() int { return obsiface.Stats() }

@@ -1,0 +1,21 @@
+// Package obsiface is the obspure fixture's instrumentation package: a
+// miniature probe interface plus one value-returning export that
+// step-path code must never call.
+package obsiface
+
+// Phase identifies one step phase.
+type Phase int
+
+// Probe is the fixture's observation interface.
+type Probe interface {
+	PhaseBegin(p Phase)
+	PhaseEnd(p Phase)
+	Counter(v int64)
+}
+
+// Emit is a void package-level helper: legal from anywhere.
+func Emit(p Phase) {}
+
+// Stats returns accumulated observation state: reading it from the step
+// path is the bug obspure rule 2 exists to catch.
+func Stats() int { return 0 }

@@ -1,0 +1,46 @@
+// Package obsprobes holds the obspure fixture's probe implementations:
+// one pure observer and two that feed back into the engine core.
+package obsprobes
+
+import (
+	"lintfix/obscore"
+	"lintfix/obsiface"
+)
+
+// GoodProbe observes into its own state only.
+type GoodProbe struct {
+	begins int
+	counts []int64
+}
+
+func (g *GoodProbe) PhaseBegin(p obsiface.Phase) { g.begins++ }
+func (g *GoodProbe) PhaseEnd(p obsiface.Phase)   {}
+func (g *GoodProbe) Counter(v int64)             { g.counts = append(g.counts, v) }
+
+// CallbackProbe calls back into the engine from a callback.
+type CallbackProbe struct {
+	eng *obscore.Engine
+}
+
+func (c *CallbackProbe) PhaseBegin(p obsiface.Phase) {
+	c.eng.Advance() // want `probe callback \(CallbackProbe\)\.PhaseBegin calls Advance in engine package lintfix/obscore`
+}
+func (c *CallbackProbe) PhaseEnd(p obsiface.Phase) {}
+func (c *CallbackProbe) Counter(v int64)           {}
+
+// StoreProbe mutates engine package state from a callback.
+type StoreProbe struct{}
+
+func (s StoreProbe) PhaseBegin(p obsiface.Phase) {}
+func (s StoreProbe) PhaseEnd(p obsiface.Phase) {
+	obscore.Ticks++ // want `probe callback \(StoreProbe\)\.PhaseEnd stores to lintfix/obscore\.Ticks`
+}
+func (s StoreProbe) Counter(v int64) {
+	obscore.Ticks = int(v) // want `probe callback \(StoreProbe\)\.Counter stores to lintfix/obscore\.Ticks`
+}
+
+// Bystander shares a callback name with the interface but does not
+// implement it: not a probe, not checked.
+type Bystander struct{}
+
+func (b Bystander) PhaseBegin(p obsiface.Phase) { obscore.Ticks++ }

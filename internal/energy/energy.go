@@ -25,6 +25,8 @@ import (
 	"math"
 	goruntime "runtime"
 	"sync"
+
+	"selfstab/internal/obs"
 )
 
 // Costs is the per-step drain schedule, shared by the live subsystem and
@@ -185,6 +187,10 @@ type Engine struct {
 	classBuf []int8
 	txBuf    []int64
 	rxBuf    []int64
+
+	// probe, when set, receives the depletion gauge each step; nil costs
+	// one branch per Step (see internal/obs).
+	probe obs.Probe
 }
 
 // Role classes the parallel precompute hands to the sequential commit.
@@ -249,6 +255,11 @@ func New(n int, cfg Config, hooks Hooks) (*Engine, error) {
 	return e, nil
 }
 
+// SetProbe attaches an instrumentation probe (nil detaches it). The
+// probe is a pure observer — see internal/obs — so drain trajectories
+// are bit-identical attached or not. Call only between steps.
+func (e *Engine) SetProbe(p obs.Probe) { e.probe = p }
+
 // Step advances the battery model by one Δ(τ) step: every operating node
 // pays its role idle cost plus the tx/rx cost of the data-plane activity
 // since the previous step, sleepers pay the sleep cost, and batteries
@@ -261,7 +272,11 @@ func New(n int, cfg Config, hooks Hooks) (*Engine, error) {
 func (e *Engine) Step(step int) error {
 	e.stepsRun++
 	if workers := e.resolveWorkers(); workers > 1 && e.n >= parallelThreshold {
-		return e.stepParallel(step, workers)
+		err := e.stepParallel(step, workers)
+		if p := e.probe; p != nil {
+			p.Counter(obs.CtrDepletions, int64(e.deaths))
+		}
+		return err
 	}
 	c := &e.cfg.Costs
 	for i := 0; i < e.n; i++ {
@@ -331,6 +346,9 @@ func (e *Engine) Step(step int) error {
 				}
 			}
 		}
+	}
+	if p := e.probe; p != nil {
+		p.Counter(obs.CtrDepletions, int64(e.deaths))
 	}
 	return nil
 }

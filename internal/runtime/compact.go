@@ -1,6 +1,10 @@
 package runtime
 
-import "fmt"
+import (
+	"fmt"
+
+	"selfstab/internal/obs"
+)
 
 // Slot compaction. Dead slots are inert — no radio, no edges, cleared
 // state — but they pin a dense index in every per-node array across the
@@ -56,6 +60,16 @@ func (e *Engine) Compact(remap []int32, newN int) error {
 	}
 	if e.g.N() != newN {
 		return fmt.Errorf("runtime: graph has %d nodes, want %d (compact the graph before the engine)", e.g.N(), newN)
+	}
+	// Compaction runs between steps: the collector attributes its span to
+	// the following step's record.
+	probe := e.probe
+	if probe != nil {
+		probe.PhaseBegin(obs.PhaseCompact)
+		defer func() {
+			probe.PhaseEnd(obs.PhaseCompact)
+			probe.Counter(obs.CtrCompactions, 1)
+		}()
 	}
 	for old, nw := range remap {
 		if nw < 0 {

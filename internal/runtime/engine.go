@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"selfstab/internal/cluster"
+	"selfstab/internal/obs"
 	"selfstab/internal/radio"
 	"selfstab/internal/rng"
 	"selfstab/internal/topology"
@@ -148,6 +149,13 @@ type Engine struct {
 	// altered shared state, a topology swap, or fault injection. Callers
 	// cache derived state keyed by Epoch and rebuild only on a mismatch.
 	epoch uint64
+
+	// probe, when set, receives the instrumentation stream (phase spans,
+	// per-tile halo spans, counters). Every emission site is behind a nil
+	// check, so a detached probe costs nothing; an attached probe must be a
+	// pure observer (the obspure rule — see internal/obs) so the execution
+	// stays bit-identical either way.
+	probe obs.Probe
 
 	// postStep, when set, runs at the end of every Step after the guards —
 	// the hook the traffic data plane uses to move packets inside the same
@@ -330,6 +338,17 @@ func (e *Engine) SetPostStep(fn func(step int) error) { e.postStep = fn }
 //selfstab:mutator
 func (e *Engine) SetPreStep(fn func(step int) error) { e.preStep = fn }
 
+// SetProbe attaches an instrumentation probe to the step path (nil
+// detaches it). The probe must be a pure observer — it may time and
+// count, never mutate engine state or feed values back (the obspure
+// rule, statically enforced by internal/analyze). Attached or not, the
+// execution is bit-identical; detached, the step path pays only a nil
+// check per emission site. Call only between steps.
+func (e *Engine) SetProbe(p obs.Probe) { e.probe = p }
+
+// Probe returns the attached instrumentation probe (nil when detached).
+func (e *Engine) Probe() obs.Probe { return e.probe }
+
 // SetParallelism fixes the number of workers used for the per-node step
 // phases. 0 (the default) sizes the pool to GOMAXPROCS. Results are
 // identical for any value; the knob exists for benchmarking and for the
@@ -455,6 +474,18 @@ func (e *Engine) forEachNode(fn func(i int) bool) bool {
 //
 //selfstab:mutator
 func (e *Engine) Step() error {
+	if p := e.probe; p != nil {
+		p.BeginStep(e.step)
+		p.Counter(obs.CtrFrontier, int64(len(e.pend)))
+		var err error
+		if e.sparse {
+			err = e.stepSparse()
+		} else {
+			err = e.stepDense()
+		}
+		p.EndStep(e.step, e.stepChanged)
+		return err
+	}
 	if e.sparse {
 		return e.stepSparse()
 	}
@@ -466,13 +497,22 @@ func (e *Engine) Step() error {
 // bit-for-bit, and the only path able to drive lossy media and
 // randomized daemons (whose per-step randomness touches every node).
 func (e *Engine) stepDense() error {
+	probe := e.probe
+
 	// Close a converged disruption episode before new churn can extend it,
 	// then run the churn pre-step (node add/remove/crash/sleep/wake).
+	if probe != nil {
+		probe.PhaseBegin(obs.PhaseChurn)
+	}
 	e.maybeCloseDisruption()
 	if e.preStep != nil {
 		if err := e.preStep(e.step); err != nil {
 			return fmt.Errorf("step %d: pre-step: %w", e.step, err)
 		}
+	}
+	if probe != nil {
+		probe.PhaseEnd(obs.PhaseChurn)
+		probe.PhaseBegin(obs.PhaseFrame)
 	}
 
 	// Phase 1 (parallel): assemble every live node's outgoing frame into
@@ -501,6 +541,11 @@ func (e *Engine) stepDense() error {
 	}
 	if e.inbox.N() != len(e.nodes) {
 		return fmt.Errorf("step %d: medium delivered %d rows for %d nodes", e.step, e.inbox.N(), len(e.nodes))
+	}
+	if probe != nil {
+		probe.PhaseEnd(obs.PhaseFrame)
+		probe.PhaseBegin(obs.PhaseIngest)
+		probe.Counter(obs.CtrExec, int64(e.aliveN))
 	}
 
 	// Daemon pre-draw (sequential, node order): scheduling decisions come
@@ -550,6 +595,9 @@ func (e *Engine) stepDense() error {
 		}
 		return changed
 	})
+	if probe != nil {
+		probe.PhaseEnd(obs.PhaseIngest)
+	}
 	if e.stepChanged {
 		e.epoch++
 		e.lastChange = e.step + 1 // the step about to be counted below

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"selfstab/internal/obs"
 	"selfstab/internal/radio"
 )
 
@@ -122,11 +123,18 @@ func (e *Engine) FrontierLen() int { return len(e.pend) }
 // ledger bookkeeping — with the single difference that only worklist
 // nodes are touched.
 func (e *Engine) stepSparse() error {
+	probe := e.probe
+	if probe != nil {
+		probe.PhaseBegin(obs.PhaseChurn)
+	}
 	e.maybeCloseDisruption()
 	if e.preStep != nil {
 		if err := e.preStep(e.step); err != nil {
 			return fmt.Errorf("step %d: pre-step: %w", e.step, err)
 		}
+	}
+	if probe != nil {
+		probe.PhaseEnd(obs.PhaseChurn)
 	}
 
 	// Saturated frontier: once half the living population is pending, the
@@ -165,6 +173,9 @@ func (e *Engine) stepSparse() error {
 	}
 	e.pend = e.pend[:0]
 
+	if probe != nil {
+		probe.Counter(obs.CtrExec, int64(len(e.exec)))
+	}
 	if len(e.exec) == 0 {
 		// Fully quiescent: no broadcast content changed, no cache is
 		// aging, no guard is armed. The step is a no-op on protocol
@@ -177,6 +188,9 @@ func (e *Engine) stepSparse() error {
 		return nil
 	}
 
+	if probe != nil {
+		probe.PhaseBegin(obs.PhaseFrame)
+	}
 	// Phase 1 (parallel): refresh the outgoing frames of worklist nodes.
 	// Every frameDirty node is on the worklist (the step invariant all
 	// mutators maintain), so after this pass the whole frame arena is
@@ -191,6 +205,10 @@ func (e *Engine) stepSparse() error {
 		}
 		return false
 	})
+	if probe != nil {
+		probe.PhaseEnd(obs.PhaseFrame)
+		probe.PhaseBegin(obs.PhaseIngest)
+	}
 
 	// Phase 2+3 (parallel): ingest + guards for worklist nodes. The
 	// lossless medium delivers each alive neighbor's frame verbatim, so
@@ -219,6 +237,9 @@ func (e *Engine) stepSparse() error {
 		}
 		return changed
 	})
+	if probe != nil {
+		probe.PhaseEnd(obs.PhaseIngest)
+	}
 
 	// Post-pass (sequential): re-arm next step's worklist. A node stays
 	// on the frontier while its guards are armed, its broadcast content
@@ -260,6 +281,12 @@ func (e *Engine) stepSparse() error {
 // frontier path. The worklist is rebuilt by a full index-order scan at
 // the end, so the next step resumes sparse stepping seamlessly.
 func (e *Engine) stepSparseSaturated() error {
+	probe := e.probe
+	if probe != nil {
+		probe.Counter(obs.CtrDenseFallback, 1)
+		probe.Counter(obs.CtrExec, int64(e.aliveN))
+		probe.PhaseBegin(obs.PhaseFrame)
+	}
 	for _, v := range e.pend {
 		e.pendFlag[v] = false
 	}
@@ -278,6 +305,10 @@ func (e *Engine) stepSparseSaturated() error {
 		}
 		return false
 	})
+	if probe != nil {
+		probe.PhaseEnd(obs.PhaseFrame)
+		probe.PhaseBegin(obs.PhaseIngest)
+	}
 
 	// Phase 2+3 (parallel): ingest + guards for every alive node —
 	// identical per-node work to the frontier path.
@@ -305,6 +336,9 @@ func (e *Engine) stepSparseSaturated() error {
 		}
 		return changed
 	})
+	if probe != nil {
+		probe.PhaseEnd(obs.PhaseIngest)
+	}
 
 	// Post-pass (sequential): rebuild the worklist by a full index-order
 	// scan. Worklist order is unobservable (per-node phases are

@@ -1,0 +1,176 @@
+package runtime
+
+import (
+	"testing"
+
+	"selfstab/internal/cluster"
+	"selfstab/internal/obs"
+	"selfstab/internal/radio"
+	"selfstab/internal/rng"
+)
+
+// TestStepProbeDisabledZeroAlloc is the zero-overhead pin at the
+// allocation level: with no probe attached — including after an
+// attach/detach cycle — a steady-state step performs zero allocations,
+// exactly as before the instrumentation layer existed. The time half of
+// the pin is the benchgate: BenchmarkStep1000/BenchmarkQuiescentStep
+// medians are compared against the committed baselines by
+// scripts/bench.sh.
+func TestStepProbeDisabledZeroAlloc(t *testing.T) {
+	g, ids := randomNetwork(1, 1000, 0.1)
+	e, err := New(g, ids, Protocol{Order: cluster.OrderBasic}, radio.Perfect{}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunUntilStable(5000, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(label string) {
+		t.Helper()
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := e.Step(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: quiescent step allocates %.2f/op, want 0", label, allocs)
+		}
+	}
+	measure("never attached")
+
+	// An attach/detach cycle must restore the exact nil-probe fast path.
+	c := obs.NewCollector(16)
+	e.SetProbe(c)
+	if err := e.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	e.SetProbe(nil)
+	measure("after detach")
+
+	if got := c.Metrics().Steps; got != 3 {
+		t.Fatalf("collector saw %d steps while attached, want 3", got)
+	}
+}
+
+// TestProbePhaseEmission drives both step paths and checks the probe
+// stream they emit: records pair Begin/End, the expected phases appear,
+// and the saturation fallback announces itself.
+func TestProbePhaseEmission(t *testing.T) {
+	g, ids := randomNetwork(7, 300, 0.12)
+	e, err := New(g, ids, Protocol{Order: cluster.OrderBasic}, radio.Perfect{}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := obs.NewCollector(64)
+	e.SetProbe(c)
+
+	// Cold start: the whole population pends, so the first steps hit the
+	// saturated dense fallback.
+	if err := e.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.Counters[obs.CtrDenseFallback] == 0 {
+		t.Errorf("cold start did not report a dense fallback")
+	}
+	if m.Phases[obs.PhaseFrame].Count == 0 || m.Phases[obs.PhaseIngest].Count == 0 {
+		t.Errorf("frame/ingest phases unobserved: %+v", m.Phases)
+	}
+
+	if _, err := e.RunUntilStable(5000, 5); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Metrics().Steps
+	if err := e.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.Recent(4)
+	if len(recs) != 4 || c.Metrics().Steps != before+4 {
+		t.Fatalf("want 4 fresh records, got %d (steps %d→%d)", len(recs), before, c.Metrics().Steps)
+	}
+	for _, r := range recs {
+		if r.Changed {
+			t.Errorf("step %d: quiescent step reported a change", r.Step)
+		}
+		if !r.CounterSeen[obs.CtrFrontier] || r.Counters[obs.CtrFrontier] != 0 {
+			t.Errorf("step %d: frontier gauge %v/%d, want seen/0", r.Step, r.CounterSeen[obs.CtrFrontier], r.Counters[obs.CtrFrontier])
+		}
+	}
+
+	// The dense path brackets churn, frame (incl. delivery) and ingest.
+	if err := e.SetSparse(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rec := c.Recent(1)[0]
+	for _, p := range []obs.Phase{obs.PhaseChurn, obs.PhaseFrame, obs.PhaseIngest} {
+		if !rec.Phases[p].Ok {
+			t.Errorf("dense step: phase %v unobserved", p)
+		}
+	}
+	if !rec.CounterSeen[obs.CtrExec] {
+		t.Errorf("dense step: exec gauge unobserved")
+	}
+}
+
+// TestProbeTiledSpans pins the tiled path's halo instrumentation: halo
+// phase spans, per-tile merge spans and the crossing counter all appear,
+// and the execution stays bit-identical to an unprobed twin.
+func TestProbeTiledSpans(t *testing.T) {
+	build := func(probe bool) (*Engine, *obs.Collector) {
+		g, ids := randomNetwork(11, 600, 0.1)
+		e, err := New(g, ids, Protocol{Order: cluster.OrderBasic}, radio.Perfect{}, rng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A crude 4-way tiling by index stripes: ownership just has to be
+		// a stable function of the node for the engine's contract.
+		if err := e.SetTiles(4, func(i int) int { return i % 4 }); err != nil {
+			t.Fatal(err)
+		}
+		var c *obs.Collector
+		if probe {
+			c = obs.NewCollector(0)
+			e.SetProbe(c)
+		}
+		if _, err := e.RunUntilStable(5000, 5); err != nil {
+			t.Fatal(err)
+		}
+		return e, c
+	}
+
+	probed, c := build(true)
+	bare, _ := build(false)
+	a, b := probed.Snapshot(), bare.Snapshot()
+	for i := range a.IDs {
+		if a.TieID[i] != b.TieID[i] || a.Density[i] != b.Density[i] ||
+			a.HeadID[i] != b.HeadID[i] || a.Parent[i] != b.Parent[i] {
+			t.Fatalf("probed and bare tiled runs diverged at node %d", i)
+		}
+	}
+
+	m := c.Metrics()
+	if m.Phases[obs.PhaseHalo].Count == 0 {
+		t.Errorf("tiled stabilization emitted no halo phase spans")
+	}
+	if m.Counters[obs.CtrHaloCross] == 0 {
+		t.Errorf("index-striped tiling reported zero halo crossings")
+	}
+	found := false
+	for _, r := range c.Recent(0) {
+		if len(r.Tiles) > 0 {
+			found = true
+			for _, ts := range r.Tiles {
+				if ts.Phase != obs.PhaseHalo || ts.Tile < 0 || ts.Tile >= 4 {
+					t.Fatalf("bad tile span %+v", ts)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no per-tile merge spans recorded")
+	}
+}

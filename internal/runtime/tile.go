@@ -5,6 +5,8 @@ import (
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
+
+	"selfstab/internal/obs"
 )
 
 // Tiled (sharded) frontier stepping.
@@ -171,6 +173,10 @@ func (e *Engine) forEachTile(fn func(t int)) {
 //
 //selfstab:hotpath
 func (e *Engine) mergeHalos(d int) {
+	probe := e.probe
+	if probe != nil {
+		probe.TileSpanBegin(obs.PhaseHalo, d)
+	}
 	T := e.tiles
 	for s := 0; s < T; s++ {
 		for _, w := range e.tileOutbox[s*T+d] {
@@ -180,6 +186,9 @@ func (e *Engine) mergeHalos(d int) {
 			}
 		}
 	}
+	if probe != nil {
+		probe.TileSpanEnd(obs.PhaseHalo, d)
+	}
 }
 
 // stepTiled is stepSparse's body under a tiling: identical semantics and
@@ -188,6 +197,7 @@ func (e *Engine) mergeHalos(d int) {
 // close and the pre-step hook.
 func (e *Engine) stepTiled() error {
 	T := e.tiles
+	probe := e.probe
 
 	// Split (sequential): deal the global worklist out to the owning
 	// tiles' exec lists. pend is deduplicated (pendFlag), so execFlag can
@@ -211,6 +221,9 @@ func (e *Engine) stepTiled() error {
 	}
 	e.pend = e.pend[:0]
 
+	if probe != nil {
+		probe.PhaseBegin(obs.PhaseHalo)
+	}
 	// Expansion (tile-parallel): each tile pulls in the alive radio
 	// neighborhoods of its seeds about to broadcast changed content.
 	// Same-tile neighbors join the tile's own exec list; cross-tile
@@ -239,10 +252,21 @@ func (e *Engine) stepTiled() error {
 
 	// Halo merge (tile-parallel over destinations): see mergeHalos.
 	e.forEachTile(e.mergeHalos)
+	if probe != nil {
+		probe.PhaseEnd(obs.PhaseHalo)
+		crossings := 0
+		for i := range e.tileOutbox {
+			crossings += len(e.tileOutbox[i])
+		}
+		probe.Counter(obs.CtrHaloCross, int64(crossings))
+	}
 
 	total := 0
 	for t := 0; t < T; t++ {
 		total += len(e.tileExec[t])
+	}
+	if probe != nil {
+		probe.Counter(obs.CtrExec, int64(total))
 	}
 	if total == 0 {
 		// Fully quiescent: identical no-op to the flat frontier path.
@@ -254,6 +278,9 @@ func (e *Engine) stepTiled() error {
 		return nil
 	}
 
+	if probe != nil {
+		probe.PhaseBegin(obs.PhaseFrame)
+	}
 	// Phase 1 (tile-parallel): refresh outgoing frames. Every frameDirty
 	// node is on some tile's exec list (the global step invariant), so
 	// after the barrier the whole frame arena is current — which is what
@@ -269,6 +296,10 @@ func (e *Engine) stepTiled() error {
 			}
 		}
 	})
+	if probe != nil {
+		probe.PhaseEnd(obs.PhaseFrame)
+		probe.PhaseBegin(obs.PhaseIngest)
+	}
 
 	// Phase 2+3 (tile-parallel): ingest + guards. Reads: the (now frozen)
 	// frame arena, adjacency, statuses. Writes: only the node's own cache
@@ -304,6 +335,9 @@ func (e *Engine) stepTiled() error {
 		}
 		e.tileChanged[t] = changed
 	})
+	if probe != nil {
+		probe.PhaseEnd(obs.PhaseIngest)
+	}
 	e.stepChanged = false
 	for t := 0; t < T; t++ {
 		if e.tileChanged[t] {

@@ -1,15 +1,20 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // hub fans step frames out to SSE subscribers. Publishing never blocks:
 // a subscriber whose buffer is full misses that frame (the next one
 // carries fresher state anyway), so a stalled client can never stall the
-// step loop or other subscribers.
+// step loop or other subscribers. Dropped frames are counted (exported
+// through /metrics) so slow-consumer pressure is visible.
 type hub struct {
-	mu     sync.Mutex
-	subs   map[chan []byte]struct{}
-	closed bool
+	mu      sync.Mutex
+	subs    map[chan []byte]struct{}
+	closed  bool
+	dropped atomic.Int64
 }
 
 func newHub() *hub {
@@ -47,9 +52,14 @@ func (h *hub) publish(frame []byte) {
 		select {
 		case ch <- frame:
 		default: // slow consumer: drop
+			h.dropped.Add(1)
 		}
 	}
 }
+
+// droppedFrames returns how many frames were dropped on full subscriber
+// buffers since the hub was built.
+func (h *hub) droppedFrames() int64 { return h.dropped.Load() }
 
 // closeAll ends every subscription (server drain). Subscribed channels
 // are closed so handlers return; late subscribers get a closed channel.

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"selfstab"
+	"selfstab/internal/obs"
 )
 
 // Config parameterizes a Server.
@@ -41,6 +43,15 @@ type Config struct {
 	// DrainSnapshot writes a final checkpoint to SnapshotDir when Run
 	// drains (context canceled, e.g. on SIGTERM).
 	DrainSnapshot bool
+	// TraceRing is how many recent per-step records the attached
+	// instrumentation collector retains for /trace exports and the
+	// /metrics phase histograms. Default 512.
+	TraceRing int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// service mux (the selfstab-sim serve -pprof flag). Off by default:
+	// profiling endpoints expose process internals and cost CPU while
+	// sampling, so they are opt-in.
+	EnablePprof bool
 }
 
 // Server owns a stepping world and its HTTP surface.
@@ -55,6 +66,11 @@ type Server struct {
 	net *selfstab.Network
 
 	hub *hub
+
+	// collector is the instrumentation probe New attaches to the world.
+	// It is a pure observer with its own lock-free ring, so /trace and
+	// the /metrics phase histograms read it without touching mu.
+	collector *obs.Collector
 }
 
 // New wraps an already-constructed (typically stabilized or restored)
@@ -72,7 +88,9 @@ func New(net *selfstab.Network, cfg Config) (*Server, error) {
 	if cfg.DrainSnapshot && cfg.SnapshotDir == "" {
 		return nil, fmt.Errorf("serve: drain snapshot requires a snapshot directory")
 	}
-	return &Server{cfg: cfg, net: net, hub: newHub()}, nil
+	collector := selfstab.NewCollector(cfg.TraceRing)
+	net.AttachProbe(collector)
+	return &Server{cfg: cfg, net: net, hub: newHub(), collector: collector}, nil
 }
 
 // Run steps the world at the configured rate until ctx is canceled, then
@@ -143,10 +161,12 @@ func (s *Server) frameLocked() []byte {
 //	GET  /stats/convergence  the disruption ledger (write-locked read)
 //	GET  /stats/traffic      the data-plane ledger (404 if not attached)
 //	GET  /stats/energy       the battery ledger (404 if not attached)
-//	GET  /metrics            Prometheus text format
+//	GET  /metrics            Prometheus text format (incl. phase histograms)
 //	GET  /events             SSE step frames
 //	POST /inject             online scenario injection (see inject.go)
 //	POST /snapshot           checkpoint to SnapshotDir, or stream
+//	POST /trace              Chrome trace-event JSON of recent steps
+//	/debug/pprof/*           net/http/pprof (only with EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.get(s.handleHealthz))
@@ -161,7 +181,34 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/events", s.get(s.handleEvents))
 	mux.HandleFunc("/inject", s.post(s.handleInject))
 	mux.HandleFunc("/snapshot", s.post(s.handleSnapshot))
+	mux.HandleFunc("/trace", s.post(s.handleTrace))
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleTrace streams a Chrome trace-event JSON document (load it at
+// chrome://tracing or https://ui.perfetto.dev) covering the most recent
+// steps — all retained records by default, ?last=N for a bound. The
+// collector's ring is lock-free, so the export never blocks stepping.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	last := 0
+	if q := r.URL.Query().Get("last"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad last=%q: want a non-negative integer", q)
+			return
+		}
+		last = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = s.collector.WriteTrace(w, last)
 }
 
 func (s *Server) get(h http.HandlerFunc) http.HandlerFunc {

@@ -549,3 +549,132 @@ func TestConcurrentReadersWhileStepping(t *testing.T) {
 		t.Error("world never stepped")
 	}
 }
+
+// TestObservabilityEndpoints covers the instrumentation surface: the
+// phase histograms, engine counters, convergence and SSE-drop blocks in
+// /metrics, and the Chrome trace export.
+func TestObservabilityEndpoints(t *testing.T) {
+	srv, ts := testServer(t, 30, Config{TraceRing: 64})
+	// The collector attaches in New, after stabilization. A quiescent
+	// world skips the frame/ingest phases entirely, so perturb it first,
+	// then step so the ring and histograms have real content.
+	postJSON(t, ts.URL+"/inject", map[string]any{"kind": "churn_burst", "count": 2, "op": "crash"}, nil)
+	srv.mu.Lock()
+	for i := 0; i < 20; i++ {
+		if err := srv.net.Step(); err != nil {
+			srv.mu.Unlock()
+			t.Fatal(err)
+		}
+	}
+	srv.mu.Unlock()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE selfstab_step_duration_seconds histogram",
+		`selfstab_step_duration_seconds_bucket{le="+Inf"} 20`,
+		"selfstab_step_duration_seconds_count 20",
+		`selfstab_phase_duration_seconds_bucket{phase="frame",le="+Inf"}`,
+		`selfstab_phase_duration_seconds_count{phase="ingest"}`,
+		`selfstab_phase_duration_seconds_count{phase="churn"} 20`,
+		"selfstab_engine_frontier_len",
+		"selfstab_engine_dense_fallbacks_total",
+		"selfstab_convergence_episodes_total",
+		"selfstab_convergence_steps_to_restabilize{stat=\"mean\"}",
+		"selfstab_convergence_affected_radius{stat=\"max\"}",
+		"selfstab_sse_dropped_frames_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("metrics body:\n%s", out)
+	}
+
+	// The trace export is valid Chrome trace JSON with step spans.
+	traceResp, err := http.Post(ts.URL+"/trace?last=10", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer traceResp.Body.Close()
+	if traceResp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /trace: status %d", traceResp.StatusCode)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(traceResp.Body).Decode(&tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	steps := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "step" {
+			steps++
+		}
+	}
+	if steps != 10 {
+		t.Errorf("trace has %d step spans, want 10", steps)
+	}
+
+	// Bad bounds and wrong methods are rejected.
+	badResp, err := http.Post(ts.URL+"/trace?last=-1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST /trace?last=-1: status %d, want 400", badResp.StatusCode)
+	}
+	getResp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /trace: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestPprofGating: the profiling endpoints exist only behind the opt-in
+// config knob.
+func TestPprofGating(t *testing.T) {
+	_, off := testServer(t, 20, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without EnablePprof: status %d, want 404", resp.StatusCode)
+	}
+
+	_, on := testServer(t, 20, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index with EnablePprof: status %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(on.URL + "/debug/pprof/symbol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof symbol: status %d, want 200", resp.StatusCode)
+	}
+}

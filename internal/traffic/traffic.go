@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"slices"
 
+	"selfstab/internal/obs"
 	"selfstab/internal/rng"
 )
 
@@ -193,6 +194,10 @@ type Engine struct {
 	acc      acc
 	step     int // the protocol's absolute completed-step count
 	stepsRun int // how many steps this data plane itself has run
+
+	// probe, when set, receives per-step forwarding and occupancy
+	// counters; nil costs one branch per Step (see internal/obs).
+	probe obs.Probe
 }
 
 // New builds a data plane for n nodes. The rng source feeds all workload
@@ -234,6 +239,11 @@ func New(n int, cfg Config, hooks Hooks, src *rng.Source) (*Engine, error) {
 	return e, nil
 }
 
+// SetProbe attaches an instrumentation probe (nil detaches it). The
+// probe is a pure observer — see internal/obs — so trajectories are
+// bit-identical attached or not. Call only between steps.
+func (e *Engine) SetProbe(p obs.Probe) { e.probe = p }
+
 // Step advances the data plane by one Δ(τ) step: flows inject, every node
 // forwards up to Budget queued packets one hop, staged arrivals merge into
 // the destination queues. step is the protocol's completed-step count.
@@ -243,6 +253,7 @@ func New(n int, cfg Config, hooks Hooks, src *rng.Source) (*Engine, error) {
 func (e *Engine) Step(step int) error {
 	e.step = step
 	e.stepsRun++
+	var forwarded int64
 
 	// Phase 1: injection, in flow order (all randomness drawn here, on one
 	// stream, so trajectories are worker-count independent). Flows with a
@@ -312,6 +323,7 @@ func (e *Engine) Step(step int) error {
 			// the energy subsystem charges per packet.
 			e.load[u]++
 			e.recv[next]++
+			forwarded++
 			if next == int(p.dst) {
 				e.deliver(p)
 				continue
@@ -340,6 +352,10 @@ func (e *Engine) Step(step int) error {
 		e.arrFlag[v] = false
 	}
 	e.arrList = e.arrList[:0]
+	if p := e.probe; p != nil {
+		p.Counter(obs.CtrTrafficForwarded, forwarded)
+		p.Counter(obs.CtrQueueOccupancy, e.InFlight())
+	}
 	return nil
 }
 

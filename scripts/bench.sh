@@ -5,7 +5,10 @@
 # tests (the safety net for the parallel step engine, the frontier
 # worklist engine, the traffic data plane, the churn subsystem and the
 # energy subsystem), then benchmarks the core packages with -benchmem
-# and records every sample in BENCH_step.json — plus the routing/traffic
+# and records every sample in BENCH_step.json — including the
+# BenchmarkPhaseBreakdown rows attributing the 1000-node step cost to
+# its churn/frame/ingest phases via the instrumentation collector — plus
+# the routing/traffic
 # suite in BENCH_traffic.json, the churn suite in BENCH_churn.json, the
 # energy suite in BENCH_energy.json and the scale suite (quiescent
 # frontier stepping, perturbed 100k step with a tile-count sweep,

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Serving-mode smoke: boot `selfstab-sim serve`, poll /healthz until the
-# world is live, scrape /metrics, inject a regional crash over HTTP,
-# checkpoint to disk, and verify a clean SIGTERM drain (including the
-# drain snapshot) within a timeout. This gates wiring, not timing.
+# world is live, scrape /metrics (including the step-phase histograms
+# from the instrumentation collector), fetch a Chrome trace over POST
+# /trace, take a 1-second CPU profile through the -pprof endpoints,
+# inject a regional crash over HTTP, checkpoint to disk, and verify a
+# clean SIGTERM drain (including the drain snapshot) within a timeout.
+# This gates wiring, not timing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +20,7 @@ trap cleanup EXIT
 
 go build -o "$DIR/selfstab-sim" ./cmd/selfstab-sim
 "$DIR/selfstab-sim" serve -nodes 300 -addr "$ADDR" -sps 50 -preload churn \
-  -snapshot-dir "$DIR/snaps" -drain-snapshot &
+  -snapshot-dir "$DIR/snaps" -drain-snapshot -pprof &
 PID=$!
 
 # Boot can take a moment: the world cold-stabilizes before serving.
@@ -31,6 +34,27 @@ done
 
 curl -fsS "http://$ADDR/healthz" | grep -q '"ok": true'
 curl -fsS "http://$ADDR/metrics" | grep -q '^selfstab_step_count'
+
+# The instrumentation layer: phase histograms and engine counters from
+# the attached collector, plus the convergence and SSE-pressure blocks.
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+echo "$METRICS" | grep -q '^selfstab_step_duration_seconds_bucket'
+echo "$METRICS" | grep -q 'selfstab_phase_duration_seconds_bucket{phase="churn"'
+echo "$METRICS" | grep -q '^selfstab_engine_frontier_len'
+echo "$METRICS" | grep -q '^selfstab_convergence_episodes_total'
+echo "$METRICS" | grep -q '^selfstab_sse_dropped_frames_total'
+
+# A Chrome trace of recent steps over HTTP: well-formed JSON with spans.
+curl -fsS -X POST "http://$ADDR/trace?last=50" -o "$DIR/trace.json"
+grep -q '"traceEvents"' "$DIR/trace.json"
+grep -q '"name":"step"' "$DIR/trace.json"
+if command -v python3 >/dev/null; then
+  python3 -m json.tool "$DIR/trace.json" >/dev/null
+fi
+
+# Live profiling behind -pprof: a 1-second CPU profile comes back non-empty.
+curl -fsS "http://$ADDR/debug/pprof/profile?seconds=1" -o "$DIR/cpu.pprof"
+[ -s "$DIR/cpu.pprof" ] || { echo "empty CPU profile from /debug/pprof" >&2; exit 1; }
 curl -fsS -X POST -d '{"kind":"crash_region","x":0.5,"y":0.5,"radius":0.15}' \
   "http://$ADDR/inject" | grep -q '"kind": "crash_region"'
 curl -fsS -X POST "http://$ADDR/snapshot" | grep -q '"path"'

@@ -63,6 +63,22 @@
 // internal/serve package runs a Network as a long-lived service stepping
 // in scaled real time behind an HTTP/JSON API (selfstab-sim serve).
 //
+// The world is observable without being perturbable: AttachProbe installs
+// an obs.Probe that receives step boundaries, per-phase and per-tile
+// spans, and engine counters from inside the step path. The probe
+// contract has two halves, both enforced. With no probe attached the
+// instrumentation costs nothing — the nil-probe path adds zero
+// allocations and no measurable time (pinned by test and benchmark
+// gate). With one attached, the engine is write-only toward it and the
+// probe must never feed back: callbacks may not call into engine
+// packages or mutate engine state (the obspure analyzer checks this
+// statically), so a traced run is bit-identical to an untraced twin.
+// Probe attachment is deliberately not journaled — replay without the
+// probe reproduces the same trajectory. NewCollector's lock-free sink
+// aggregates records into Prometheus-style histograms (served at
+// /metrics) and Chrome trace-event JSON (WriteTrace, selfstab-sim
+// trace, POST /trace).
+//
 // Minimal use:
 //
 //	net, err := selfstab.NewPoissonNetwork(1000, selfstab.WithRange(0.1))
@@ -246,6 +262,7 @@ import (
 	"selfstab/internal/deploy"
 	"selfstab/internal/energy"
 	"selfstab/internal/geom"
+	"selfstab/internal/obs"
 	"selfstab/internal/radio"
 	"selfstab/internal/rng"
 	"selfstab/internal/routing"
@@ -497,6 +514,11 @@ type Network struct {
 	// time: indices move under Compact, identifiers never do, so the
 	// per-flow ledger stays addressable across compactions.
 	flowIDs []flowEndpointIDs
+
+	// probe is the attached instrumentation sink (nil when detached); it
+	// fans out to the engine and any attached subsystems. Pure-observer
+	// state, never journaled: a replay without it is bit-identical.
+	probe obs.Probe
 
 	nextID        int64       // next identifier handed to a node added at runtime
 	churn         *churnState // attached churn schedule (nil until AttachChurn)

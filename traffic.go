@@ -159,6 +159,7 @@ func (n *Network) attachTrafficImpl(sc snapshot.TrafficConfig) error {
 	for i, s := range specs {
 		n.flowIDs[i] = flowEndpointIDs{src: n.ids[s.Src], dst: n.ids[s.Dst]}
 	}
+	t.SetProbe(n.probe) // late attach inherits the network's probe
 	n.traffic = t
 	n.trafficOn = true
 	cfgCopy := cfg
