@@ -64,6 +64,12 @@ const (
 	ChurnWake = ChurnKind(runtime.ChurnWake)
 	// ChurnFault is transient state corruption (InjectFaults).
 	ChurnFault = ChurnKind(runtime.ChurnFault)
+	// ChurnAttack is an adversarial disruption: byzantine density
+	// inflation (InflateDensity) or its plausibility eviction
+	// (EvictNodes). Attack episodes land in the same convergence ledger
+	// as organic churn, so steps-to-restabilize after an attack is
+	// measured by the exact machinery the paper's claim is scored with.
+	ChurnAttack = ChurnKind(runtime.ChurnAttack)
 )
 
 // String renders the set, e.g. "join|crash".

@@ -12,6 +12,7 @@
 //	selfstab-sim scale -nodes 100000 -scenario quiescent
 //	selfstab-sim serve -nodes 500 -sps 10 -preload churn -snapshot-dir /tmp/snaps
 //	selfstab-sim trace -nodes 500 -steps 200 -scenario mixed -o trace.json
+//	selfstab-sim attack -scenario flood -bots 12 -floodrate 4
 //
 // Experiments: table1, table2, table3, table4, table5, mobility,
 // stabilization, gamma, metrics, orders, energy, daemons, scalability,
@@ -52,6 +53,13 @@
 // and writes it as Chrome trace-event JSON (chrome://tracing,
 // https://ui.perfetto.dev) to a file or stdout.
 //
+// The attack subcommand runs one adversarial scenario — a botnet flood
+// aimed at the cluster-heads, byzantine density inflation capturing
+// headship, or a sybil join burst — against an undefended and a defended
+// world built from the same seed, and reports the attack-vs-defense
+// deltas: legitimate delivery ratio, defense drop counters, headship
+// capture rate, evictions and steps-to-restabilize.
+//
 // An unknown subcommand, experiment, scenario or workload name exits
 // non-zero with a usage line on stderr.
 package main
@@ -78,7 +86,7 @@ type renderer interface{ Render() string }
 
 // usage is the one-line surface summary attached to every bad-name error,
 // so a typo exits non-zero with actionable help on stderr.
-const usage = "usage: selfstab-sim [-exp <experiment>] [flags] | selfstab-sim traffic [flags] | selfstab-sim churn [flags] | selfstab-sim energy [flags] | selfstab-sim scale [flags] | selfstab-sim serve [flags] | selfstab-sim trace [flags]"
+const usage = "usage: selfstab-sim [-exp <experiment>] [flags] | selfstab-sim traffic [flags] | selfstab-sim churn [flags] | selfstab-sim energy [flags] | selfstab-sim scale [flags] | selfstab-sim serve [flags] | selfstab-sim trace [flags] | selfstab-sim attack [flags]"
 
 func usageErrorf(format string, a ...any) error {
 	return fmt.Errorf(format+"\n"+usage, a...)
@@ -99,8 +107,10 @@ func run(args []string, out io.Writer) error {
 			return runServe(args[1:], out)
 		case "trace":
 			return runTrace(args[1:], out)
+		case "attack":
+			return runAttack(args[1:], out)
 		default:
-			return usageErrorf("unknown subcommand %q (want traffic, churn, energy, scale, serve or trace)", args[0])
+			return usageErrorf("unknown subcommand %q (want traffic, churn, energy, scale, serve, trace or attack)", args[0])
 		}
 	}
 	fs := flag.NewFlagSet("selfstab-sim", flag.ContinueOnError)

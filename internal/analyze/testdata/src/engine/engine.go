@@ -19,5 +19,19 @@ func (e *Engine) Step() { e.step++ }
 //selfstab:mutator
 func (e *Engine) Poke(i int) { e.state[i]++ }
 
+// ScaleDensity turns slot i byzantine: its advertised value lies by
+// factor f until Evict clears it.
+//
+//selfstab:mutator
+func (e *Engine) ScaleDensity(i, f int) { e.state[i] *= f }
+
+// Evict restarts slot i cold, clearing any lie.
+//
+//selfstab:mutator
+func (e *Engine) Evict(i int) { e.state[i] = 0 }
+
 // StepCount is a read-only accessor: no fact.
 func (e *Engine) StepCount() int { return e.step }
+
+// Implausible is a read-only detector: no fact.
+func (e *Engine) Implausible(bound int) bool { return e.state[0] > bound }

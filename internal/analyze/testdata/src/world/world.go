@@ -32,6 +32,10 @@ func (w *World) dispatch(op Op) {
 		w.eng.Step()
 	case "poke":
 		w.eng.Poke(op.Arg)
+	case "inflate":
+		w.eng.ScaleDensity(op.Arg, 4)
+	case "evict":
+		w.eng.Evict(op.Arg)
 	}
 }
 
@@ -73,6 +77,25 @@ func (w *World) Vetted() { w.vettedHelper() }
 //
 //selfstab:unjournaled fixture schedule helper; replay reproduces it deterministically
 func (w *World) vettedHelper() { w.eng.Step() }
+
+// Inflate is an attack op routed through the chokepoint: journaled like
+// any other mutation, so an attacked world replays bit-identically.
+func (w *World) Inflate(i int) error { return w.apply(Op{Kind: "inflate", Arg: i}) }
+
+// BadInflate mounts the attack around the journal: the replayed world
+// would never see it.
+func (w *World) BadInflate(i int) { // want `exported method \(\*World\)\.BadInflate mutates world state`
+	w.eng.ScaleDensity(i, 4)
+}
+
+// BadEvict applies the defense response around the journal.
+func (w *World) BadEvict(i int) { // want `exported method \(\*World\)\.BadEvict mutates world state`
+	w.eng.Evict(i)
+}
+
+// Detect is a read-only defense sweep: detection may stay outside the
+// journal, only the response must go through it.
+func (w *World) Detect() bool { return w.eng.Implausible(2) }
 
 // Reader never mutates.
 func (w *World) Reader() int { return w.eng.StepCount() }

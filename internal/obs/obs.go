@@ -89,6 +89,17 @@ const (
 	// CtrDepletions is the battery model's cumulative depletion count
 	// (gauge: the energy engine reports its own running total).
 	CtrDepletions
+	// CtrAttacksInjected counts adversarial operations launched through
+	// the attack plane — floods, byzantine density inflations, sybil
+	// bursts (cumulative; one per attack call).
+	CtrAttacksInjected
+	// CtrByzantineEvictions counts nodes expelled by the density-
+	// plausibility defense (cumulative; one per evicted node).
+	CtrByzantineEvictions
+	// CtrAdmissionRejects counts packets the traffic defenses refused —
+	// per-head token-bucket admission drops plus per-source rate-limit
+	// drops (cumulative; the data plane emits the per-step count).
+	CtrAdmissionRejects
 	// NumCounters bounds dense per-counter arrays.
 	NumCounters
 )
@@ -107,6 +118,10 @@ var counterInfo = [NumCounters]struct {
 	CtrQueueOccupancy:   {"queue_occupancy", false},
 	CtrTrafficForwarded: {"traffic_forwarded", true},
 	CtrDepletions:       {"energy_depletions", false},
+
+	CtrAttacksInjected:    {"attacks_injected", true},
+	CtrByzantineEvictions: {"byzantine_evictions", true},
+	CtrAdmissionRejects:   {"admission_rejects", true},
 }
 
 // String returns the counter's metric label.

@@ -1,6 +1,10 @@
 package runtime
 
-import "fmt"
+import (
+	"fmt"
+
+	"selfstab/internal/obs"
+)
 
 // NodeStatus is a node slot's lifecycle state. Slots are never recycled:
 // a dead node keeps its dense index forever so per-node arrays across the
@@ -50,6 +54,11 @@ const (
 	ChurnWake
 	// ChurnFault is transient state corruption (Corrupt).
 	ChurnFault
+	// ChurnAttack is an adversarial disruption: a byzantine density
+	// inflation (MarkAttack) or its plausibility eviction (Evict). Kept
+	// distinct from the benign kinds so the convergence ledger can score
+	// steps-to-restabilize for attack episodes separately.
+	ChurnAttack
 )
 
 // String renders the set, e.g. "join|crash".
@@ -60,6 +69,7 @@ func (k ChurnKind) String() string {
 	}{
 		{ChurnJoin, "join"}, {ChurnLeave, "leave"}, {ChurnCrash, "crash"},
 		{ChurnSleep, "sleep"}, {ChurnWake, "wake"}, {ChurnFault, "fault"},
+		{ChurnAttack, "attack"},
 	}
 	out := ""
 	for _, n := range names {
@@ -441,4 +451,83 @@ func (e *Engine) checkIndex(i int) error {
 		return fmt.Errorf("runtime: node index %d out of range [0, %d)", i, len(e.nodes))
 	}
 	return nil
+}
+
+// MarkAttack opens (or extends) an attack-kind disruption episode at node
+// i and its current neighbors — the convergence-ledger entry for a
+// byzantine injection, so steps-to-restabilize is scored per attack the
+// same way it is per benign churn event. The node's state itself is
+// mutated by the accompanying SetDensityScale call.
+//
+//selfstab:mutator
+func (e *Engine) MarkAttack(i int) error {
+	if err := e.checkIndex(i); err != nil {
+		return err
+	}
+	e.markDisruption(ChurnAttack, i, e.g.Neighbors(i))
+	e.markChanged(i)
+	return nil
+}
+
+// Evict expels a byzantine node: its density scale resets to the honest
+// 1, all protocol state and the neighbor cache are cleared, and the node
+// restarts cold at its position — a Reboot whose disruption episode is
+// recorded as an attack response (ChurnAttack) rather than a benign
+// crash, so the ledger can score recovery from evictions separately. A
+// sleeping node evicts awake. Emits one byzantine-eviction counter tick.
+//
+//selfstab:mutator
+func (e *Engine) Evict(i int) error {
+	if err := e.checkIndex(i); err != nil {
+		return err
+	}
+	if e.status[i] == StatusDead {
+		return fmt.Errorf("runtime: node %d is dead", i)
+	}
+	if e.densityScale != nil {
+		e.densityScale[i] = 1
+	}
+	e.markDisruption(ChurnAttack, i, e.g.Neighbors(i))
+	e.markChanged(i)
+	e.Activate(i) // reset state re-broadcasts; the expansion covers neighbors
+	if e.status[i] != StatusAlive {
+		e.aliveN++
+	}
+	e.aliveIdx.set(i)
+	e.nodes[i].reset(e.proto)
+	e.status[i] = StatusAlive
+	e.sendMask[i] = true
+	e.epoch++
+	if p := e.probe; p != nil {
+		p.Counter(obs.CtrByzantineEvictions, 1)
+	}
+	return nil
+}
+
+// Implausible returns, in ascending index order, the alive nodes whose
+// advertised density exceeds factor times the local plausibility bound
+// (deg+1)/2, where deg is the node's current topology degree. The bound
+// is exact for honest nodes: guard R1 computes density = links/deg with
+// links ≤ deg + C(deg, 2), so an unscaled density can never exceed
+// (deg+1)/2 — any node above it (factor 1) is advertising a density its
+// observed neighborhood cannot support. Callers pass factor > 1 for
+// slack against transiently stale caches under churn (a cached vanished
+// neighbor briefly inflates links relative to the live degree).
+// Degree-zero nodes are never reported. Read-only.
+func (e *Engine) Implausible(factor float64) []int {
+	var out []int
+	for i := range e.nodes {
+		if e.status[i] != StatusAlive {
+			continue
+		}
+		deg := len(e.g.Neighbors(i))
+		if deg == 0 {
+			continue
+		}
+		bound := factor * float64(deg+1) / 2
+		if e.nodes[i].Density() > bound {
+			out = append(out, i)
+		}
+	}
+	return out
 }

@@ -19,20 +19,45 @@ import (
 //	{"kind":"spawn_flow","flow":{"kind":"cbr","src":1,"dst":2,"rate":0.5}}
 //	{"kind":"compact"}
 //
+// Adversarial kinds (the attack plane):
+//
+//	{"kind":"flood","count":5,"rate":2}            count bots flood the heads
+//	{"kind":"byzantine","ids":[4,17],"scale":4}    inflate advertised densities
+//	{"kind":"evict","ids":[4]}                     expel byzantine nodes
+//	{"kind":"evict","factor":1.1}                  ...or auto-detect implausible ones
+//	{"kind":"sybil","target":9,"count":8,"spread":0.05}
+//	{"kind":"defense","defense":{"head_admission":true,"head_rate":1,"head_burst":4,"source_cap":3}}
+//
 // Region and burst injections resolve their victims server-side into an
 // explicit id list before journaling, so a restored snapshot replays the
-// exact same casualties without the server in the loop.
+// exact same casualties without the server in the loop; flood and the
+// id-less evict resolve against the live hierarchy the same way.
 type injectRequest struct {
-	Kind   string       `json:"kind"`
-	Frac   float64      `json:"frac,omitempty"`
-	IDs    []int64      `json:"ids,omitempty"`
-	X      float64      `json:"x,omitempty"`
-	Y      float64      `json:"y,omitempty"`
-	Radius float64      `json:"radius,omitempty"`
-	Count  int          `json:"count,omitempty"`
-	Op     string       `json:"op,omitempty"`
-	Points []pointJSON  `json:"points,omitempty"`
-	Flow   *flowRequest `json:"flow,omitempty"`
+	Kind    string          `json:"kind"`
+	Frac    float64         `json:"frac,omitempty"`
+	IDs     []int64         `json:"ids,omitempty"`
+	X       float64         `json:"x,omitempty"`
+	Y       float64         `json:"y,omitempty"`
+	Radius  float64         `json:"radius,omitempty"`
+	Count   int             `json:"count,omitempty"`
+	Op      string          `json:"op,omitempty"`
+	Points  []pointJSON     `json:"points,omitempty"`
+	Flow    *flowRequest    `json:"flow,omitempty"`
+	Rate    float64         `json:"rate,omitempty"`    // flood
+	Scale   float64         `json:"scale,omitempty"`   // byzantine
+	Factor  float64         `json:"factor,omitempty"`  // evict (auto-detect)
+	Target  int64           `json:"target,omitempty"`  // sybil
+	Spread  float64         `json:"spread,omitempty"`  // sybil
+	Defense *defenseRequest `json:"defense,omitempty"` // defense
+}
+
+// defenseRequest mirrors selfstab.DefenseConfig for the defense kind. A
+// zero-valued (or empty) object removes every installed defense.
+type defenseRequest struct {
+	HeadAdmission bool    `json:"head_admission,omitempty"`
+	HeadRate      float64 `json:"head_rate,omitempty"`
+	HeadBurst     float64 `json:"head_burst,omitempty"`
+	SourceCap     int     `json:"source_cap,omitempty"`
 }
 
 type pointJSON struct {
@@ -116,6 +141,38 @@ func (s *Server) applyInjectLocked(req injectRequest) (int, error) {
 	case "compact":
 		removed, err := s.net.Compact()
 		return removed, err
+	case "flood":
+		bots, err := s.net.FloodHeads(req.Count, req.Rate)
+		return len(bots), err
+	case "byzantine":
+		if req.Scale == 0 {
+			return 0, errf("byzantine inject needs a scale")
+		}
+		return len(req.IDs), s.net.InflateDensity(req.Scale, req.IDs...)
+	case "evict":
+		ids := req.IDs
+		if len(ids) == 0 {
+			if req.Factor <= 0 {
+				return 0, errf("evict needs ids or a detection factor > 0")
+			}
+			if ids = s.net.ImplausibleNodes(req.Factor); len(ids) == 0 {
+				return 0, nil // nothing implausible: a clean bill, not an error
+			}
+		}
+		return len(ids), s.net.EvictNodes(ids...)
+	case "sybil":
+		ids, err := s.net.SybilJoin(req.Target, req.Count, req.Spread)
+		return len(ids), err
+	case "defense":
+		if req.Defense == nil {
+			return 0, errf("defense inject without a defense object")
+		}
+		return 0, s.net.SetTrafficDefense(selfstab.DefenseConfig{
+			HeadAdmission: req.Defense.HeadAdmission,
+			HeadRate:      req.Defense.HeadRate,
+			HeadBurst:     req.Defense.HeadBurst,
+			SourceCap:     req.Defense.SourceCap,
+		})
 	}
 	return 0, errf("unknown inject kind %q", req.Kind)
 }
@@ -175,17 +232,13 @@ func (s *Server) churnBurstLocked(count int, op string) (int, error) {
 	return 0, errf("unknown churn burst op %q (want crash, sleep or remove)", op)
 }
 
-// spawnFlowLocked appends one flow to the attached data plane's config
-// and re-attaches. Re-attaching resets the traffic ledger (documented in
-// the README's serving section); scrape /stats/traffic first if the old
-// counters matter.
+// spawnFlowLocked appends one flow to the attached data plane via
+// Network.SpawnFlows: the traffic ledger and queues carry over, so
+// scraped counters stay continuous across the spawn (until the attack
+// plane landed, this re-attached and reset the ledger).
 func (s *Server) spawnFlowLocked(fr *flowRequest) (int, error) {
 	if fr == nil {
 		return 0, errf("spawn_flow without a flow")
-	}
-	cfg, attached := s.net.TrafficConfig()
-	if !attached {
-		return 0, errf("no traffic attached — spawn_flow needs an existing data plane")
 	}
 	var flow selfstab.Flow
 	switch fr.Kind {
@@ -201,8 +254,7 @@ func (s *Server) spawnFlowLocked(fr *flowRequest) (int, error) {
 	default:
 		return 0, errf("unknown flow kind %q (want cbr, poisson or hotspot)", fr.Kind)
 	}
-	cfg.Flows = append(cfg.Flows, flow)
-	if err := s.net.AttachTraffic(cfg); err != nil {
+	if err := s.net.SpawnFlows(flow); err != nil {
 		return 0, err
 	}
 	return 1, nil

@@ -61,6 +61,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "selfstab_traffic_packets_total{fate=\"dropped_noroute\"} %d\n", ts.DropsNoRoute)
 		fmt.Fprintf(&b, "selfstab_traffic_packets_total{fate=\"dropped_ttl\"} %d\n", ts.DropsTTL)
 		fmt.Fprintf(&b, "selfstab_traffic_packets_total{fate=\"dropped_dead_endpoint\"} %d\n", ts.DropsDeadEndpoint)
+		fmt.Fprintf(&b, "selfstab_traffic_packets_total{fate=\"dropped_admission\"} %d\n", ts.DropsAdmission)
+		fmt.Fprintf(&b, "selfstab_traffic_packets_total{fate=\"dropped_ratelimit\"} %d\n", ts.DropsRateLimit)
 		fmt.Fprintf(&b, "# HELP selfstab_traffic_in_flight Packets currently queued.\n")
 		fmt.Fprintf(&b, "# TYPE selfstab_traffic_in_flight gauge\n")
 		fmt.Fprintf(&b, "selfstab_traffic_in_flight %d\n", ts.InFlight)

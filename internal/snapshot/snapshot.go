@@ -41,7 +41,14 @@ const Magic = "selfstab-snapshot"
 // existing field changes or a field replay depends on is added; Decode
 // refuses documents whose version differs so an old binary never
 // misreplays a new snapshot (or vice versa).
-const Version = 1
+//
+// Version history:
+//
+//	1: initial format (blueprint + 15 op kinds).
+//	2: adversarial workload plane — spawn_flows, scale_density,
+//	   evict_nodes and set_defense op kinds, with the scale and defense
+//	   payload fields replay depends on.
+const Version = 2
 
 // Deployment kinds: how the node positions were generated. They mirror
 // the public constructors one to one.
@@ -72,6 +79,15 @@ const (
 	OpDetachEnergy   = "detach_energy"
 	OpCompact        = "compact"
 	OpSetAutoCompact = "set_auto_compact"
+
+	// Adversarial workload plane (format version 2). Flood flows are
+	// journaled as explicit src→dst pairs resolved against the live
+	// hierarchy at call time — replay needs no head lookup, exactly the
+	// explicit-id pattern the regional lifecycle injections use.
+	OpSpawnFlows   = "spawn_flows"   // append flows, no ledger reset
+	OpScaleDensity = "scale_density" // byzantine density inflation
+	OpEvictNodes   = "evict_nodes"   // density-plausibility eviction
+	OpSetDefense   = "set_defense"   // traffic-plane defense knobs
 )
 
 // Point is a node position in region coordinates. JSON round-trips Go
@@ -180,6 +196,15 @@ type EnergyConfig struct {
 	RotationLevels int     `json:"rotation_levels,omitempty"`
 }
 
+// DefenseConfig mirrors selfstab.DefenseConfig for the journal: the
+// traffic-plane defense knobs a set_defense op installs.
+type DefenseConfig struct {
+	HeadTokens bool    `json:"head_tokens,omitempty"`
+	HeadRate   float64 `json:"head_rate,omitempty"`
+	HeadBurst  float64 `json:"head_burst,omitempty"`
+	SourceCap  int     `json:"source_cap,omitempty"`
+}
+
 // Op is one journaled world mutation. Kind selects which payload fields
 // are meaningful; Step is the completed-step count at which the op was
 // applied (replay applies it after stepping to that count, before the
@@ -193,6 +218,8 @@ type Op struct {
 	Traffic *TrafficConfig `json:"traffic,omitempty"`
 	Churn   *ChurnConfig   `json:"churn,omitempty"`
 	Energy  *EnergyConfig  `json:"energy,omitempty"`
+	Scale   float64        `json:"scale,omitempty"`   // scale_density
+	Defense *DefenseConfig `json:"defense,omitempty"` // set_defense
 }
 
 // Snapshot is one checkpoint document.

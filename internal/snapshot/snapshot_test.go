@@ -45,6 +45,14 @@ func goldenSnapshot() *Snapshot {
 		{Step: 16, Kind: OpSetAutoCompact, Frac: 0.25},
 		{Step: 18, Kind: OpCompact},
 		{Step: 20, Kind: OpSetPositions, Points: []Point{{X: 0.5, Y: 0.5}}},
+		{Step: 21, Kind: OpSetDefense, Defense: &DefenseConfig{
+			HeadTokens: true, HeadRate: 0.75, HeadBurst: 4, SourceCap: 3,
+		}},
+		{Step: 21, Kind: OpSpawnFlows, Traffic: &TrafficConfig{
+			Flows: []Flow{{Kind: "cbr", SrcID: 3, DstID: 8, Rate: 2.5}},
+		}},
+		{Step: 21, Kind: OpScaleDensity, IDs: []int64{11, 12}, Scale: 4.5},
+		{Step: 21, Kind: OpEvictNodes, IDs: []int64{11}},
 		{Step: 22, Kind: OpDetachTraffic},
 		{Step: 22, Kind: OpDetachEnergy},
 		{Step: 22, Kind: OpDetachChurn},
@@ -58,7 +66,7 @@ func goldenSnapshot() *Snapshot {
 // with SELFSTAB_UPDATE_GOLDEN=1 go test ./internal/snapshot (and bump
 // Version if the change is semantic).
 func TestGoldenFile(t *testing.T) {
-	path := filepath.Join("testdata", "golden_v1.json")
+	path := filepath.Join("testdata", "golden_v2.json")
 	var buf bytes.Buffer
 	if err := goldenSnapshot().Encode(&buf); err != nil {
 		t.Fatal(err)
@@ -83,7 +91,7 @@ func TestGoldenFile(t *testing.T) {
 // TestGoldenRoundTrip: the golden document decodes back to the exact
 // in-memory snapshot it was built from.
 func TestGoldenRoundTrip(t *testing.T) {
-	raw, err := os.ReadFile(filepath.Join("testdata", "golden_v1.json"))
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_v2.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +133,7 @@ func TestDecodeRejectsVersionMismatch(t *testing.T) {
 	if err := s.Encode(&buf); err != nil {
 		t.Fatal(err)
 	}
-	doc := strings.Replace(buf.String(), `"version": 1`, `"version": 99`, 1)
+	doc := strings.Replace(buf.String(), `"version": 2`, `"version": 99`, 1)
 	_, err := Decode(strings.NewReader(doc))
 	if err == nil {
 		t.Fatal("version 99 accepted")
@@ -143,12 +151,12 @@ func TestDecodeRejectsBadDocuments(t *testing.T) {
 		want string
 	}{
 		{"not json", "hello", "not a snapshot document"},
-		{"wrong magic", `{"header":{"magic":"nope","version":1}}`, "bad magic"},
+		{"wrong magic", `{"header":{"magic":"nope","version":2}}`, "bad magic"},
 		{"no header", `{}`, "bad magic"},
-		{"unknown field", `{"header":{"magic":"selfstab-snapshot","version":1},"blueprint":{"deploy":{"kind":"grid"}},"bogus":1}`, "decode"},
-		{"bad deploy kind", `{"header":{"magic":"selfstab-snapshot","version":1},"blueprint":{"deploy":{"kind":"psychic"}}}`, "unknown deployment kind"},
-		{"op beyond step", `{"header":{"magic":"selfstab-snapshot","version":1,"step":5},"blueprint":{"deploy":{"kind":"grid"}},"ops":[{"step":9,"kind":"compact"}]}`, "beyond the snapshot step"},
-		{"ops out of order", `{"header":{"magic":"selfstab-snapshot","version":1,"step":5},"blueprint":{"deploy":{"kind":"grid"}},"ops":[{"step":4,"kind":"compact"},{"step":2,"kind":"compact"}]}`, "out of order"},
+		{"unknown field", `{"header":{"magic":"selfstab-snapshot","version":2},"blueprint":{"deploy":{"kind":"grid"}},"bogus":1}`, "decode"},
+		{"bad deploy kind", `{"header":{"magic":"selfstab-snapshot","version":2},"blueprint":{"deploy":{"kind":"psychic"}}}`, "unknown deployment kind"},
+		{"op beyond step", `{"header":{"magic":"selfstab-snapshot","version":2,"step":5},"blueprint":{"deploy":{"kind":"grid"}},"ops":[{"step":9,"kind":"compact"}]}`, "beyond the snapshot step"},
+		{"ops out of order", `{"header":{"magic":"selfstab-snapshot","version":2,"step":5},"blueprint":{"deploy":{"kind":"grid"}},"ops":[{"step":4,"kind":"compact"},{"step":2,"kind":"compact"}]}`, "out of order"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -167,7 +175,7 @@ func TestDecodeRejectsBadDocuments(t *testing.T) {
 // build's Decode would reject.
 func TestEncodeRefusesForeignHeader(t *testing.T) {
 	s := goldenSnapshot()
-	s.Header.Version = 2
+	s.Header.Version = 3
 	if err := s.Encode(&bytes.Buffer{}); err == nil {
 		t.Error("foreign version encoded")
 	}

@@ -11,6 +11,8 @@ type acc struct {
 	dropsNoRoute      int64
 	dropsTTL          int64
 	dropsDeadEndpoint int64
+	dropsAdmission    int64
+	dropsRateLimit    int64
 	hopTotal          int64
 	stretchSum        float64
 	stretchCount      int64
@@ -57,7 +59,8 @@ type FlowStats struct {
 
 // Stats is the data plane's ledger at a point in time. The accounting
 // identity Offered == Delivered + DropsQueue + DropsNoRoute + DropsTTL +
-// DropsDeadEndpoint + InFlight holds at every step boundary.
+// DropsDeadEndpoint + DropsAdmission + DropsRateLimit + InFlight holds
+// at every step boundary.
 type Stats struct {
 	Steps int // steps the data plane itself has run (not the protocol's lifetime count)
 
@@ -72,6 +75,12 @@ type Stats struct {
 	// node (at injection or mid-flight) plus packets lost with the queue
 	// of a crashed or departed node.
 	DropsDeadEndpoint int64
+	// DropsAdmission and DropsRateLimit are the defense drops (see
+	// Defense): packets a head's token bucket refused, and packets the
+	// per-source injection cap refused. Separate from the congestion
+	// reasons above so an attack-vs-defense delta is measurable.
+	DropsAdmission int64
+	DropsRateLimit int64
 
 	// DeliveryRatio is Delivered / (Offered - InFlight): the fraction of
 	// packets with a decided fate that made it. 0 when nothing decided.
@@ -110,6 +119,8 @@ func (e *Engine) Stats() Stats {
 		DropsNoRoute:      e.acc.dropsNoRoute,
 		DropsTTL:          e.acc.dropsTTL,
 		DropsDeadEndpoint: e.acc.dropsDeadEndpoint,
+		DropsAdmission:    e.acc.dropsAdmission,
+		DropsRateLimit:    e.acc.dropsRateLimit,
 		LatencyP50:        e.acc.percentile(0.50),
 		LatencyP90:        e.acc.percentile(0.90),
 		LatencyP99:        e.acc.percentile(0.99),

@@ -4,7 +4,8 @@
 // flow generators inject packets, a per-node forwarding engine moves them
 // one hop per step through bounded queues over whatever routing the caller
 // provides, and a metrics sink accounts for every packet — delivered,
-// dropped (queue overflow, no route, TTL, dead endpoint) or still in
+// dropped (queue overflow, no route, TTL, dead endpoint, or refused by a
+// defense: head admission control, source rate limit) or still in
 // flight. The data plane survives churn: Resize grows it when nodes
 // join, FlushNode accounts for queues lost to crashes and departures,
 // and the Alive hook turns packets addressed to dead or sleeping
@@ -60,6 +61,46 @@ type Hooks struct {
 	// no CBR credit); packets addressed to a not-alive destination become
 	// DropsDeadEndpoint, at injection and at every forwarding hop.
 	Alive func(i int) bool
+	// IsHead reports whether node i is currently a cluster-head — the
+	// admission-control defense guards head queues only. nil means no node
+	// is ever a head (admission control never fires). Only consulted while
+	// a Defense with HeadTokens is installed.
+	IsHead func(i int) bool
+}
+
+// Defense parameterizes the data plane's attack mitigations. The zero
+// value disables everything; install with Engine.SetDefense. Defense
+// drops are accounted separately from congestion (DropsAdmission,
+// DropsRateLimit), so attack-vs-defense deltas are measurable in the
+// ledger.
+type Defense struct {
+	// HeadTokens enables per-head token-bucket admission control: a packet
+	// — injected or forwarded — enters a cluster-head's queue only if the
+	// head's bucket holds a token. Buckets hold up to HeadBurst tokens and
+	// refill at HeadRate tokens per step (lazily, so an idle head pays
+	// nothing); a packet refused by an empty bucket is a DropsAdmission.
+	// This caps the rate at which a flood can occupy a head's queue,
+	// forwarding budget and radio, at the cost of also shedding legitimate
+	// head-bound traffic beyond the rate.
+	HeadTokens bool
+	// HeadRate is the bucket refill rate in tokens (packets) per step.
+	HeadRate float64
+	// HeadBurst is the bucket capacity in tokens.
+	HeadBurst float64
+	// SourceCap caps how many packets any single source may inject per
+	// step; the excess is refused at the source NIC and accounted
+	// DropsRateLimit. 0 disables the cap.
+	SourceCap int
+}
+
+func (d *Defense) validate() error {
+	if d.HeadTokens && (d.HeadRate <= 0 || d.HeadBurst < 1) {
+		return fmt.Errorf("traffic: head admission needs rate > 0 and burst >= 1 (got rate %v, burst %v)", d.HeadRate, d.HeadBurst)
+	}
+	if d.SourceCap < 0 {
+		return fmt.Errorf("traffic: negative source cap %d", d.SourceCap)
+	}
+	return nil
 }
 
 // Config parameterizes the data plane.
@@ -183,6 +224,19 @@ type Engine struct {
 	arrList   []int32
 	arrFlag   []bool
 
+	// Defense state (nil slices while no defense is installed — the
+	// undefended hot path pays one zero-compare per packet). tokens and
+	// tokensAt are the per-head buckets, refilled lazily against the step
+	// clock (tokensAt -1: untouched, the bucket starts full). injCount and
+	// injAt implement the per-source per-step injection cap without an
+	// O(N) per-step reset: a stale injAt stamp means "nothing injected
+	// this step yet".
+	defense  Defense
+	tokens   []float64
+	tokensAt []int32
+	injCount []int32
+	injAt    []int32
+
 	// Retired accounting: per-node counters of slots dropped by Compact,
 	// folded into Stats totals so the ledger is invariant across a
 	// compaction (a dead node's forwarding history doesn't vanish with
@@ -244,6 +298,91 @@ func New(n int, cfg Config, hooks Hooks, src *rng.Source) (*Engine, error) {
 // bit-identical attached or not. Call only between steps.
 func (e *Engine) SetProbe(p obs.Probe) { e.probe = p }
 
+// SetDefense installs (or, with the zero value, removes) the attack
+// mitigations. Buckets and injection counters reset: heads start with a
+// full bucket. Call only between steps. A failed validation mutates
+// nothing.
+//
+//selfstab:mutator
+func (e *Engine) SetDefense(d Defense) error {
+	if err := d.validate(); err != nil {
+		return err
+	}
+	e.defense = d
+	e.tokens, e.tokensAt = nil, nil
+	e.injCount, e.injAt = nil, nil
+	if d.HeadTokens {
+		e.tokens = make([]float64, len(e.queues))
+		e.tokensAt = make([]int32, len(e.queues))
+		for i := range e.tokensAt {
+			e.tokensAt[i] = -1
+		}
+	}
+	if d.SourceCap > 0 {
+		e.injCount = make([]int32, len(e.queues))
+		e.injAt = make([]int32, len(e.queues))
+		for i := range e.injAt {
+			e.injAt[i] = -1
+		}
+	}
+	return nil
+}
+
+// Defense returns the installed mitigations (zero value: none).
+func (e *Engine) Defense() Defense { return e.defense }
+
+// AddFlows appends workloads to the running data plane. Queues, the
+// ledger and every existing flow's accumulators are untouched — unlike a
+// re-attach, the delivery history across the append stays continuous,
+// which is what makes "delivery ratio before vs during a flood"
+// measurable in one run. All specs are validated against the current
+// node count first, so a failed call mutates nothing.
+//
+//selfstab:mutator
+func (e *Engine) AddFlows(specs []FlowSpec) error {
+	for i := range specs {
+		if err := specs[i].validate(len(e.queues)); err != nil {
+			return fmt.Errorf("traffic: flow %d: %w", i, err)
+		}
+	}
+	for _, s := range specs {
+		e.flows = append(e.flows, flowState{spec: s, flatDist: -2})
+	}
+	e.cfg.Flows = append(e.cfg.Flows, specs...)
+	return nil
+}
+
+// takeToken refills head v's bucket against the step clock and consumes
+// one token if available. Per-node arithmetic on one goroutine:
+// deterministic at any parallelism.
+//
+//selfstab:hotpath
+func (e *Engine) takeToken(v int) bool {
+	if e.tokensAt[v] < 0 {
+		e.tokens[v] = e.defense.HeadBurst
+		e.tokensAt[v] = int32(e.step)
+	} else if dt := e.step - int(e.tokensAt[v]); dt > 0 {
+		e.tokens[v] = min(e.defense.HeadBurst, e.tokens[v]+e.defense.HeadRate*float64(dt))
+		e.tokensAt[v] = int32(e.step)
+	}
+	if e.tokens[v] >= 1 {
+		e.tokens[v]--
+		return true
+	}
+	return false
+}
+
+// headRefuses reports whether head v's admission bucket refuses one
+// arriving packet. It gates every arrival at a head — transit packets
+// entering the queue AND packets addressed to the head itself — so a
+// flood aimed at a head exhausts the bucket instead of the head. False
+// whenever the HeadTokens defense is off or v is not currently a head.
+//
+//selfstab:hotpath
+func (e *Engine) headRefuses(v int) bool {
+	return e.tokens != nil && e.hooks.IsHead != nil && e.hooks.IsHead(v) && !e.takeToken(v)
+}
+
 // Step advances the data plane by one Δ(τ) step: flows inject, every node
 // forwards up to Budget queued packets one hop, staged arrivals merge into
 // the destination queues. step is the protocol's completed-step count.
@@ -254,6 +393,7 @@ func (e *Engine) Step(step int) error {
 	e.step = step
 	e.stepsRun++
 	var forwarded int64
+	rejects0 := e.acc.dropsAdmission + e.acc.dropsRateLimit
 
 	// Phase 1: injection, in flow order (all randomness drawn here, on one
 	// stream, so trajectories are worker-count independent). Flows with a
@@ -325,6 +465,13 @@ func (e *Engine) Step(step int) error {
 			e.recv[next]++
 			forwarded++
 			if next == int(p.dst) {
+				if e.headRefuses(next) {
+					// Admission applies to the final hop too: a head whose
+					// bucket is dry sheds the load instead of absorbing it.
+					e.acc.dropsAdmission++
+					e.flows[p.flow].dropped++
+					continue
+				}
 				e.deliver(p)
 				continue
 			}
@@ -355,6 +502,9 @@ func (e *Engine) Step(step int) error {
 	if p := e.probe; p != nil {
 		p.Counter(obs.CtrTrafficForwarded, forwarded)
 		p.Counter(obs.CtrQueueOccupancy, e.InFlight())
+		if d := e.acc.dropsAdmission + e.acc.dropsRateLimit - rejects0; d > 0 {
+			p.Counter(obs.CtrAdmissionRejects, d)
+		}
 	}
 	return nil
 }
@@ -391,6 +541,21 @@ func (e *Engine) inject(fi int, f *flowState) {
 	e.acc.offered++
 	f.offered++
 	src, dst := f.spec.Src, f.spec.Dst
+	if e.injCount != nil {
+		// Per-source rate limit: the source NIC refuses the packet before
+		// it is addressed. Counted offered (the workload generated it) and
+		// dropped under the defense's own reason.
+		if e.injAt[src] != int32(e.step) {
+			e.injAt[src] = int32(e.step)
+			e.injCount[src] = 0
+		}
+		if int(e.injCount[src]) >= e.defense.SourceCap {
+			e.acc.dropsRateLimit++
+			f.dropped++
+			return
+		}
+		e.injCount[src]++
+	}
 	if !e.alive(dst) {
 		// Addressed to a dead or sleeping endpoint: accounted and dropped
 		// at the source, it never consumes queue space or forwarding.
@@ -416,6 +581,13 @@ func (e *Engine) inject(fi int, f *flowState) {
 //
 //selfstab:hotpath
 func (e *Engine) admit(v int, p packet) {
+	if e.headRefuses(v) {
+		// Head admission control: the bucket is dry, the head refuses the
+		// packet before it occupies queue space or forwarding budget.
+		e.acc.dropsAdmission++
+		e.flows[p.flow].dropped++
+		return
+	}
 	q := &e.queues[v]
 	if q.push(p) {
 		e.markBusy(v)
@@ -467,6 +639,14 @@ func (e *Engine) Resize(n int) {
 		e.recv = append(e.recv, 0)
 		e.busyFlag = append(e.busyFlag, false)
 		e.arrFlag = append(e.arrFlag, false)
+		if e.tokens != nil {
+			e.tokens = append(e.tokens, 0)
+			e.tokensAt = append(e.tokensAt, -1) // newcomers start with a full bucket
+		}
+		if e.injCount != nil {
+			e.injCount = append(e.injCount, 0)
+			e.injAt = append(e.injAt, -1)
+		}
 	}
 	if n > e.n {
 		e.n = n
@@ -511,11 +691,27 @@ func (e *Engine) Compact(remap []int32, newN int) error {
 		e.arrivals[i] = e.arrivals[old]
 		e.load[i] = e.load[old]
 		e.recv[i] = e.recv[old]
+		if e.tokens != nil {
+			e.tokens[i] = e.tokens[old]
+			e.tokensAt[i] = e.tokensAt[old]
+		}
+		if e.injCount != nil {
+			e.injCount[i] = e.injCount[old]
+			e.injAt[i] = e.injAt[old]
+		}
 	}
 	e.queues = e.queues[:newN]
 	e.arrivals = e.arrivals[:newN]
 	e.load = e.load[:newN]
 	e.recv = e.recv[:newN]
+	if e.tokens != nil {
+		e.tokens = e.tokens[:newN]
+		e.tokensAt = e.tokensAt[:newN]
+	}
+	if e.injCount != nil {
+		e.injCount = e.injCount[:newN]
+		e.injAt = e.injAt[:newN]
+	}
 	e.arrFlag = e.arrFlag[:newN]
 	for i := range e.busyFlag {
 		e.busyFlag[i] = false

@@ -53,9 +53,9 @@ func runSteps(t *testing.T, e *Engine, steps int) {
 // exactly one fate.
 func checkLedger(t *testing.T, s Stats) {
 	t.Helper()
-	if got := s.Delivered + s.DropsQueue + s.DropsNoRoute + s.DropsTTL + s.DropsDeadEndpoint + s.InFlight; got != s.Offered {
-		t.Fatalf("ledger broken: delivered %d + dropsQ %d + dropsNR %d + dropsTTL %d + dropsDead %d + inflight %d = %d, offered %d",
-			s.Delivered, s.DropsQueue, s.DropsNoRoute, s.DropsTTL, s.DropsDeadEndpoint, s.InFlight, got, s.Offered)
+	if got := s.Delivered + s.DropsQueue + s.DropsNoRoute + s.DropsTTL + s.DropsDeadEndpoint + s.DropsAdmission + s.DropsRateLimit + s.InFlight; got != s.Offered {
+		t.Fatalf("ledger broken: delivered %d + dropsQ %d + dropsNR %d + dropsTTL %d + dropsDead %d + dropsAdm %d + dropsRL %d + inflight %d = %d, offered %d",
+			s.Delivered, s.DropsQueue, s.DropsNoRoute, s.DropsTTL, s.DropsDeadEndpoint, s.DropsAdmission, s.DropsRateLimit, s.InFlight, got, s.Offered)
 	}
 }
 

@@ -94,6 +94,20 @@ func (n *Network) dispatchOp(op snapshot.Op) error {
 		}
 		n.autoCompact = op.Frac
 		return nil
+	case snapshot.OpSpawnFlows:
+		if op.Traffic == nil {
+			return fmt.Errorf("selfstab: %s op without a traffic config", op.Kind)
+		}
+		return n.spawnFlowsImpl(*op.Traffic)
+	case snapshot.OpScaleDensity:
+		return n.scaleDensityImpl(op.IDs, op.Scale)
+	case snapshot.OpEvictNodes:
+		return n.evictNodesImpl(op.IDs)
+	case snapshot.OpSetDefense:
+		if op.Defense == nil {
+			return fmt.Errorf("selfstab: %s op without a defense config", op.Kind)
+		}
+		return n.setDefenseImpl(*op.Defense)
 	}
 	return fmt.Errorf("selfstab: unknown op kind %q", op.Kind)
 }
@@ -283,5 +297,19 @@ func energyFromSnapshot(sc snapshot.EnergyConfig) EnergyConfig {
 		IdleMemberCost: sc.IdleMemberCost, SleepCost: sc.SleepCost,
 		TxCost: sc.TxCost, RxCost: sc.RxCost,
 		Rotation: sc.Rotation, RotationLevels: sc.RotationLevels,
+	}
+}
+
+func defenseToSnapshot(cfg DefenseConfig) snapshot.DefenseConfig {
+	return snapshot.DefenseConfig{
+		HeadTokens: cfg.HeadAdmission, HeadRate: cfg.HeadRate,
+		HeadBurst: cfg.HeadBurst, SourceCap: cfg.SourceCap,
+	}
+}
+
+func defenseFromSnapshot(sc snapshot.DefenseConfig) DefenseConfig {
+	return DefenseConfig{
+		HeadAdmission: sc.HeadTokens, HeadRate: sc.HeadRate,
+		HeadBurst: sc.HeadBurst, SourceCap: sc.SourceCap,
 	}
 }

@@ -303,7 +303,7 @@ func TestSnapshotRejectsGarbage(t *testing.T) {
 	if err := net.WriteSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
-	tampered := strings.Replace(buf.String(), `"version": 1`, `"version": 7`, 1)
+	tampered := strings.Replace(buf.String(), `"version": 2`, `"version": 7`, 1)
 	if _, err := ReadSnapshot(strings.NewReader(tampered)); err == nil {
 		t.Fatal("version-tampered snapshot accepted")
 	} else if !strings.Contains(err.Error(), "version 7") {

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Adversarial-workload smoke: run each attack scenario end to end from the
+# CLI at the default (CI-sized) configuration and assert the defenses are
+# measurably effective — the flood defense recovers legitimate delivery
+# above a floor, plausibility eviction zeroes byzantine headship capture,
+# and the sybil burst is removed. Everything is seeded and deterministic,
+# so these are exact gates on defense efficacy, not timing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/selfstab-sim" ./cmd/selfstab-sim
+
+# Flood: the token-bucket + rate-limit defenses must beat the undefended
+# world and hold the delivery floor.
+FLOOD="$("$DIR/selfstab-sim" attack -scenario flood)"
+echo "$FLOOD"
+UNDEF=$(echo "$FLOOD" | awk '/legit delivery \(under attack\)/ {print $(NF-1)}')
+DEF=$(echo "$FLOOD" | awk '/legit delivery \(under attack\)/ {print $NF}')
+[ -n "$UNDEF" ] && [ -n "$DEF" ] || { echo "could not parse delivery ratios" >&2; exit 1; }
+awk -v u="$UNDEF" -v d="$DEF" 'BEGIN { exit !(d > u) }' \
+  || { echo "defense did not recover delivery: defended $DEF <= undefended $UNDEF" >&2; exit 1; }
+awk -v d="$DEF" 'BEGIN { exit !(d >= 0.45) }' \
+  || { echo "defended delivery $DEF under the 0.45 floor" >&2; exit 1; }
+echo "$FLOOD" | grep -q 'defense recovered +' \
+  || { echo "report does not state a positive recovery" >&2; exit 1; }
+
+# Byzantine: inflated densities capture headship undefended; the
+# plausibility sweep evicts the liars and capture falls.
+BYZ="$("$DIR/selfstab-sim" attack -scenario byzantine)"
+echo "$BYZ"
+UCAP=$(echo "$BYZ" | awk '/headship capture rate/ {print $(NF-1)}')
+DCAP=$(echo "$BYZ" | awk '/headship capture rate/ {print $NF}')
+awk -v u="$UCAP" 'BEGIN { exit !(u > 0) }' \
+  || { echo "byzantine attack captured no headship (capture $UCAP)" >&2; exit 1; }
+awk -v u="$UCAP" -v d="$DCAP" 'BEGIN { exit !(d < u) }' \
+  || { echo "eviction did not reduce capture: $DCAP >= $UCAP" >&2; exit 1; }
+EVICTED=$(echo "$BYZ" | awk '/evictions/ {print $NF}')
+[ "$EVICTED" -gt 0 ] || { echo "plausibility sweep evicted nobody" >&2; exit 1; }
+
+# Sybil: the burst joins and the operator removal clears it.
+SYB="$("$DIR/selfstab-sim" attack -scenario sybil)"
+echo "$SYB"
+REMOVED=$(echo "$SYB" | awk '/evictions/ {print $NF}')
+[ "$REMOVED" -gt 0 ] || { echo "no sybils removed" >&2; exit 1; }
+
+echo "attack smoke OK"

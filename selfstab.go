@@ -51,6 +51,23 @@
 // paper's Section 6 future work running live, with Verify checking the
 // correspondingly weighted oracle.
 //
+// The robustness claim is tested under adversaries, not just benign
+// churn: the adversarial workload plane mounts botnet CBR floods against
+// the current cluster-heads (FloodHeads), byzantine density inflation
+// that captures headship through the honest ≺ election (InflateDensity),
+// and sybil join bursts packed around a victim (SybilJoin). The defenses
+// are measurable rather than rhetorical — SetTrafficDefense installs
+// per-head token-bucket admission control and per-source rate limiting
+// whose refusals are first-class drop reasons in the traffic ledger
+// (DropsAdmission, DropsRateLimit), and ImplausibleNodes/EvictNodes
+// detect and expel density liars via a structural bound (a degree-d
+// node's true density cannot exceed (d+1)/2), with each eviction's cost
+// opening a ChurnAttack episode in the convergence ledger. Attack and
+// defense ops are journaled like any other mutation, so an attacked
+// world snapshots and replays bit-identically; internal/attack runs the
+// seeded twin-world comparison (selfstab-sim attack) that scores each
+// defense as an undefended-vs-defended delta.
+//
 // A world is checkpointable: every public mutation flows through a
 // single op-apply chokepoint and is journaled, so WriteSnapshot emits a
 // versioned document (internal/snapshot) — the construction blueprint

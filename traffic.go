@@ -148,6 +148,11 @@ func (n *Network) attachTrafficImpl(sc snapshot.TrafficConfig) error {
 		Alive: func(i int) bool {
 			return n.engine.Status(i) == runtime.StatusAlive
 		},
+		// IsHead feeds the per-head admission defense (SetTrafficDefense);
+		// it is only consulted while that defense is installed.
+		IsHead: func(i int) bool {
+			return n.engine.Status(i) == runtime.StatusAlive && n.engine.Node(i).IsHead()
+		},
 	}
 	t, err := traffic.New(len(n.pts), tc, hooks, n.src.Split("traffic"))
 	if err != nil {
@@ -249,7 +254,8 @@ type FlowTrafficStats struct {
 
 // TrafficStats is the data plane's ledger. The accounting identity
 // Offered == Delivered + DropsQueue + DropsNoRoute + DropsTTL +
-// DropsDeadEndpoint + InFlight holds at every step boundary.
+// DropsDeadEndpoint + DropsAdmission + DropsRateLimit + InFlight holds
+// at every step boundary.
 type TrafficStats struct {
 	// Steps is how many steps the data plane itself has run (steps taken
 	// since AttachTraffic, excluding any detached stretches) — the right
@@ -269,6 +275,13 @@ type TrafficStats struct {
 	// with the queue of a crashed or removed node. Under churn the data
 	// plane never errors on a vanished endpoint; it accounts it here.
 	DropsDeadEndpoint int64
+	// DropsAdmission and DropsRateLimit are the defense drops (see
+	// SetTrafficDefense): packets a head's token bucket refused, and
+	// packets the per-source injection cap refused. Kept separate from
+	// the congestion reasons above so the attack-vs-defense delta is
+	// directly measurable from the ledger.
+	DropsAdmission int64
+	DropsRateLimit int64
 
 	// DeliveryRatio is Delivered over packets with a decided fate
 	// (Offered - InFlight).
@@ -316,6 +329,8 @@ func (n *Network) TrafficStats() (TrafficStats, error) {
 		DropsNoRoute:      ts.DropsNoRoute,
 		DropsTTL:          ts.DropsTTL,
 		DropsDeadEndpoint: ts.DropsDeadEndpoint,
+		DropsAdmission:    ts.DropsAdmission,
+		DropsRateLimit:    ts.DropsRateLimit,
 		DeliveryRatio:     ts.DeliveryRatio,
 		MeanHops:          ts.MeanHops,
 		MeanStretch:       ts.MeanStretch,

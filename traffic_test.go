@@ -72,7 +72,7 @@ func TestTrafficDeterminism(t *testing.T) {
 // fate.
 func checkTrafficLedger(t *testing.T, s TrafficStats) {
 	t.Helper()
-	if got := s.Delivered + s.DropsQueue + s.DropsNoRoute + s.DropsTTL + s.DropsDeadEndpoint + s.InFlight; got != s.Offered {
+	if got := s.Delivered + s.DropsQueue + s.DropsNoRoute + s.DropsTTL + s.DropsDeadEndpoint + s.DropsAdmission + s.DropsRateLimit + s.InFlight; got != s.Offered {
 		t.Fatalf("ledger broken: %+v", s)
 	}
 }
